@@ -1,0 +1,130 @@
+// Command bpsbench regenerates the BPS paper's evaluation: every table
+// and figure of §IV, at a configurable fraction of the paper's data
+// volume.
+//
+// Usage:
+//
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12] [-scale 0.015625] [-seed 42]
+//
+// The output for a CC figure is the per-run measurement table followed by
+// the normalized correlation coefficient of each metric against
+// application execution time — the figure's bar values. Detail figures
+// print the metric/execution-time series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bps/internal/experiments"
+	"bps/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, or ext1..ext2")
+	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
+	seed := flag.Int64("seed", 42, "base RNG seed")
+	quiet := flag.Bool("q", false, "suppress timing chatter")
+	asCSV := flag.Bool("csv", false, "emit per-run rows (and cc rows) as CSV instead of tables")
+	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
+	flag.Parse()
+
+	if *seeds > 0 {
+		r, err := experiments.RunRobustness(experiments.Params{Scale: *scale, Seed: *seed}, *fig, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(r)
+		return
+	}
+
+	if *asCSV {
+		if err := runCSV(*fig, *scale, *seed, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "bpsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *scale, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, scale float64, seed int64, quiet bool) error {
+	out := os.Stdout
+	suite := experiments.NewSuite(experiments.Params{Scale: scale, Seed: seed})
+
+	switch fig {
+	case "table1":
+		report.WriteTable1(out)
+		return nil
+	case "table2":
+		report.WriteTable2(out)
+		return nil
+	case "all":
+		report.WriteTable1(out)
+		report.WriteTable2(out)
+		var figs []experiments.Figure
+		for _, id := range experiments.FigureIDs {
+			f, err := timed(suite, id, quiet)
+			if err != nil {
+				return err
+			}
+			report.WriteFigure(out, f)
+			figs = append(figs, f)
+		}
+		report.WriteSummary(out, figs)
+		report.WriteComparison(out, figs)
+		for _, id := range experiments.ExtensionIDs {
+			f, err := timed(suite, id, quiet)
+			if err != nil {
+				return err
+			}
+			report.WriteFigure(out, f)
+		}
+		return nil
+	default:
+		f, err := timed(suite, fig, quiet)
+		if err != nil {
+			return err
+		}
+		report.WriteFigure(out, f)
+		return nil
+	}
+}
+
+// runCSV emits machine-readable rows for one figure (or every figure
+// when fig is "all").
+func runCSV(fig string, scale float64, seed int64, quiet bool) error {
+	suite := experiments.NewSuite(experiments.Params{Scale: scale, Seed: seed})
+	ids := []string{fig}
+	if fig == "all" {
+		ids = append(append([]string{}, experiments.FigureIDs...), experiments.ExtensionIDs...)
+	}
+	for _, id := range ids {
+		f, err := timed(suite, id, quiet)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteFigureCSV(os.Stdout, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func timed(suite *experiments.Suite, id string, quiet bool) (experiments.Figure, error) {
+	t0 := time.Now()
+	f, err := suite.Figure(id)
+	if err != nil {
+		return f, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "[%s reproduced in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	return f, nil
+}

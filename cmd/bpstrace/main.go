@@ -1,0 +1,270 @@
+// Command bpstrace computes the four I/O metrics — IOPS, bandwidth,
+// ARPT, and BPS — from I/O trace files, implementing the BPS paper's
+// measurement methodology (§III.B) as a standalone toolkit: records are
+// gathered across all given traces (all processes, all applications),
+// B is the total required blocks, and T is the overlapped I/O time.
+//
+// Usage:
+//
+//	bpstrace [-format auto|binary|csv|jsonl|blkparse] [-moved BYTES] [-exec SECONDS] FILE...
+//
+// Trace files hold one record per application access: {pid, blocks,
+// start_ns, end_ns}. The binary format is the paper's 32-byte record;
+// CSV (header pid,blocks,start_ns,end_ns) and JSONL are also accepted.
+// When -moved is omitted, bandwidth uses the required bytes (no
+// optimization-induced extra movement assumed); when -exec is omitted,
+// the trace span (first start to last end) stands in for application
+// execution time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bps"
+)
+
+func main() {
+	format := flag.String("format", "auto", "trace format: auto, binary, csv, jsonl, blkparse")
+	moved := flag.Int64("moved", 0, "bytes actually moved at the file-system level (default: required bytes)")
+	exec := flag.Float64("exec", 0, "application execution time in seconds (default: trace span)")
+	perPID := flag.Bool("per-pid", false, "also print a per-process breakdown")
+	window := flag.Float64("window", 0, "also print a windowed time series with this window in seconds")
+	latency := flag.Bool("latency", false, "also print the response-time distribution and histogram")
+	replay := flag.String("replay", "", "also replay the trace on a simulated stack: hdd, ssd, hddxN, or ssdxN (N servers)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "bpstrace: no trace files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := options{
+		format:        *format,
+		moved:         *moved,
+		execSeconds:   *exec,
+		perPID:        *perPID,
+		windowSeconds: *window,
+		latency:       *latency,
+		replay:        *replay,
+	}
+	if err := run(os.Stdout, flag.Args(), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "bpstrace:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects the report knobs.
+type options struct {
+	format        string
+	moved         int64
+	execSeconds   float64
+	perPID        bool
+	windowSeconds float64
+	latency       bool
+	replay        string
+}
+
+func run(w io.Writer, files []string, opts options) error {
+	var records []bps.Record
+	for _, name := range files {
+		recs, err := readFile(name, opts.format)
+		if err != nil {
+			return err
+		}
+		records = append(records, recs...)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no records in %d file(s)", len(files))
+	}
+
+	required := int64(0)
+	for _, r := range records {
+		required += r.Blocks * bps.BlockSize
+	}
+	moved := opts.moved
+	if moved == 0 {
+		moved = required
+	}
+	execTime := span(records)
+	if opts.execSeconds > 0 {
+		execTime = bps.Time(opts.execSeconds * float64(bps.Second))
+	}
+
+	m := bps.ComputeMetrics(records, moved, execTime)
+	printMetrics(w, "all", m)
+	if opts.perPID {
+		printPerPID(w, records)
+	}
+	if opts.windowSeconds > 0 {
+		if err := printTimeline(w, records, opts.windowSeconds); err != nil {
+			return err
+		}
+	}
+	if opts.latency {
+		d := bps.NewLatencyDist(records)
+		fmt.Fprintf(w, "[%s]\n", d)
+		fmt.Fprint(w, d.Histogram(40))
+	}
+	if opts.replay != "" {
+		if err := printReplay(w, records, opts.replay); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printReplay re-runs the trace on a simulated stack and prints the
+// what-if metrics.
+func printReplay(w io.Writer, records []bps.Record, stack string) error {
+	storage, err := parseStack(stack)
+	if err != nil {
+		return err
+	}
+	rep, err := bps.ReplayTrace(bps.RunConfig{Storage: storage, Seed: 1}, records)
+	if err != nil {
+		return err
+	}
+	printMetrics(w, "replayed on "+stack, rep.Metrics)
+	if rep.Errors > 0 {
+		fmt.Fprintf(w, "  (%d replayed accesses failed)\n", rep.Errors)
+	}
+	return nil
+}
+
+// parseStack interprets hdd, ssd, hddxN, ssdxN.
+func parseStack(s string) (bps.Storage, error) {
+	media := bps.HDD
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "hdd"):
+		rest = strings.TrimPrefix(s, "hdd")
+	case strings.HasPrefix(s, "ssd"):
+		media = bps.SSD
+		rest = strings.TrimPrefix(s, "ssd")
+	default:
+		return bps.Storage{}, fmt.Errorf("unknown stack %q (hdd, ssd, hddxN, ssdxN)", s)
+	}
+	if rest == "" {
+		return bps.Storage{Media: media}, nil
+	}
+	if !strings.HasPrefix(rest, "x") {
+		return bps.Storage{}, fmt.Errorf("unknown stack %q (hdd, ssd, hddxN, ssdxN)", s)
+	}
+	n, err := strconv.Atoi(rest[1:])
+	if err != nil || n < 1 {
+		return bps.Storage{}, fmt.Errorf("bad server count in %q", s)
+	}
+	return bps.Storage{Media: media, Servers: n, SharedFile: true}, nil
+}
+
+func printTimeline(w io.Writer, records []bps.Record, windowSeconds float64) error {
+	points, err := bps.Timeline(records, bps.Time(windowSeconds*float64(bps.Second)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[timeline, window %.3fs]\n", windowSeconds)
+	fmt.Fprintf(w, "  %8s %10s %10s %8s %14s %12s\n", "window", "ops", "blocks", "util", "BPS(blk/s)", "IOPS")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %8.3f %10d %10d %7.1f%% %14.0f %12.1f\n",
+			p.Start.Seconds(), p.Ops, p.Blocks, 100*p.Utilization(), p.BPS(), p.IOPS())
+	}
+	return nil
+}
+
+// readFile loads one trace file, sniffing the format from the extension
+// when format is "auto" (.csv, .jsonl/.json; anything else is binary).
+func readFile(name, format string) ([]bps.Record, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	if format == "auto" {
+		switch strings.ToLower(filepath.Ext(name)) {
+		case ".csv":
+			format = "csv"
+		case ".jsonl", ".json":
+			format = "jsonl"
+		case ".blkparse", ".blktrace":
+			format = "blkparse"
+		default:
+			format = "binary"
+		}
+	}
+	var recs []bps.Record
+	switch format {
+	case "binary":
+		recs, err = bps.ReadTrace(f)
+	case "csv":
+		recs, err = bps.ReadTraceCSV(f)
+	case "jsonl":
+		recs, err = bps.ReadTraceJSONL(f)
+	case "blkparse":
+		var dropped int
+		recs, dropped, err = bps.ParseBlkparse(f)
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "bpstrace: %s: %d accesses never completed, dropped\n", name, dropped)
+		}
+	default:
+		return nil, fmt.Errorf("unknown format %q (binary, csv, jsonl, blkparse)", format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return recs, nil
+}
+
+func span(records []bps.Record) bps.Time {
+	lo, hi := records[0].Start, records[0].End
+	for _, r := range records[1:] {
+		if r.Start < lo {
+			lo = r.Start
+		}
+		if r.End > hi {
+			hi = r.End
+		}
+	}
+	return hi - lo
+}
+
+func printMetrics(w io.Writer, label string, m bps.Metrics) {
+	fmt.Fprintf(w, "[%s]\n", label)
+	fmt.Fprintf(w, "  accesses (N):        %d\n", m.Ops)
+	fmt.Fprintf(w, "  required blocks (B): %d (%d bytes)\n", m.Blocks, m.Blocks*bps.BlockSize)
+	fmt.Fprintf(w, "  moved bytes (M):     %d\n", m.MovedBytes)
+	fmt.Fprintf(w, "  overlapped T:        %.6f s\n", m.IOTime.Seconds())
+	fmt.Fprintf(w, "  exec time:           %.6f s\n", m.ExecTime.Seconds())
+	fmt.Fprintf(w, "  IOPS:                %.2f ops/s\n", m.IOPS())
+	fmt.Fprintf(w, "  bandwidth:           %.2f MB/s\n", m.Bandwidth()/1e6)
+	fmt.Fprintf(w, "  ARPT:                %.6f s\n", m.ARPT())
+	fmt.Fprintf(w, "  BPS:                 %.2f blocks/s\n", m.BPS())
+}
+
+func printPerPID(w io.Writer, records []bps.Record) {
+	byPID := make(map[int64][]bps.Record)
+	for _, r := range records {
+		byPID[r.PID] = append(byPID[r.PID], r)
+	}
+	pids := make([]int64, 0, len(byPID))
+	for pid := range byPID {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		recs := byPID[pid]
+		var required int64
+		for _, r := range recs {
+			required += r.Blocks * bps.BlockSize
+		}
+		m := bps.ComputeMetrics(recs, required, span(recs))
+		printMetrics(w, fmt.Sprintf("pid %d", pid), m)
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bps"
+)
+
+func TestGenerateSequential(t *testing.T) {
+	recs, err := generate("sequential", 10, 2, 4096, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Fully serialized: union equals sum.
+	if bps.OverlapTime(recs) != bps.SumTime(recs) {
+		t.Fatal("sequential pattern overlaps")
+	}
+	// Each access is 8 blocks, 1 ms.
+	if recs[0].Blocks != 8 || recs[0].End-recs[0].Start != bps.Millisecond {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+}
+
+func TestGenerateConcurrent(t *testing.T) {
+	recs, err := generate("concurrent", 10, 4, 4096, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Four processes in lockstep: union is one process's worth of time.
+	if got := bps.OverlapTime(recs); got != 10*bps.Millisecond {
+		t.Fatalf("union = %v, want 10ms", got)
+	}
+}
+
+func TestGenerateBurstyHasIdleGaps(t *testing.T) {
+	recs, err := generate("bursty", 30, 1, 4096, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := bps.OverlapTime(recs)
+	span := recs[len(recs)-1].End - recs[0].Start
+	if union >= span {
+		t.Fatalf("bursty pattern has no idle gaps: union %v, span %v", union, span)
+	}
+}
+
+func TestGenerateRandomDeterministic(t *testing.T) {
+	a, err := generate("random", 50, 2, 4096, 0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("random", 50, 2, 4096, 0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded random diverges at %d", i)
+		}
+	}
+	c, err := generate("random", 50, 2, 4096, 0.001, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := [][5]interface{}{
+		{"sequential", 0, 1, int64(1), 0.1},
+		{"sequential", 1, 0, int64(1), 0.1},
+		{"sequential", 1, 1, int64(0), 0.1},
+		{"sequential", 1, 1, int64(1), 0.0},
+		{"nope", 1, 1, int64(1), 0.1},
+	}
+	for i, c := range cases {
+		_, err := generate(c[0].(string), c[1].(int), c[2].(int), c[3].(int64), c[4].(float64), 1)
+		if err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	recs, err := generate("sequential", 5, 1, 4096, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, format := range []string{"binary", "csv", "jsonl"} {
+		path := filepath.Join(dir, "t."+format)
+		if err := write(path, format, recs); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s: empty or missing output", format)
+		}
+	}
+	if err := write(filepath.Join(dir, "x"), "nope", recs); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestPipelineIntoMetrics closes the loop: generated traces produce
+// sensible metrics.
+func TestPipelineIntoMetrics(t *testing.T) {
+	recs, err := generate("concurrent", 100, 4, 64<<10, 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var required int64
+	for _, r := range recs {
+		required += r.Blocks * bps.BlockSize
+	}
+	m := bps.ComputeMetrics(recs, required, bps.OverlapTime(recs))
+	// 4-way concurrency: IOPS over union is 4× a single stream's rate.
+	if m.IOPS() < 1999 || m.IOPS() > 2001 {
+		t.Fatalf("IOPS = %v, want 2000", m.IOPS())
+	}
+}

@@ -1,0 +1,92 @@
+package bps_test
+
+import (
+	"fmt"
+
+	"bps"
+)
+
+// The paper's equation (1): BPS = B / T, where T is the overlapped I/O
+// time. Two fully concurrent accesses count their time once.
+func ExampleOverlapTime() {
+	records := []bps.Record{
+		{PID: 1, Blocks: 128, Start: 0, End: bps.Second},
+		{PID: 2, Blocks: 128, Start: 0, End: bps.Second}, // concurrent with the first
+		{PID: 1, Blocks: 128, Start: 2 * bps.Second, End: 3 * bps.Second},
+	}
+	fmt.Println("union:", bps.OverlapTime(records))
+	fmt.Println("naive sum:", bps.SumTime(records))
+	// Output:
+	// union: 2s
+	// naive sum: 3s
+}
+
+func ExampleComputeMetrics() {
+	records := []bps.Record{
+		{PID: 1, Blocks: 2048, Start: 0, End: bps.Second},
+		{PID: 2, Blocks: 2048, Start: 0, End: bps.Second},
+	}
+	m := bps.ComputeMetrics(records, 4096*bps.BlockSize, bps.Second)
+	fmt.Printf("B = %d blocks over T = %v\n", m.Blocks, m.IOTime)
+	fmt.Printf("BPS = %.0f blocks/s\n", m.BPS())
+	fmt.Printf("IOPS = %.0f, ARPT = %.1fs\n", m.IOPS(), m.ARPT())
+	// Output:
+	// B = 4096 blocks over T = 1s
+	// BPS = 4096 blocks/s
+	// IOPS = 2, ARPT = 1.0s
+}
+
+// Bandwidth counts what the file system moved; BPS counts what the
+// application required. Data sieving and prefetching split the two.
+func ExampleMetrics_Bandwidth() {
+	records := []bps.Record{{PID: 1, Blocks: 1024, Start: 0, End: bps.Second}}
+	movedWithHoles := int64(4 * 1024 * bps.BlockSize) // sieving read 4× the data
+	m := bps.ComputeMetrics(records, movedWithHoles, bps.Second)
+	fmt.Printf("BW counts %d bytes, BPS counts %d blocks\n", m.MovedBytes, m.Blocks)
+	// Output:
+	// BW counts 2097152 bytes, BPS counts 1024 blocks
+}
+
+func ExampleTimeline() {
+	records := []bps.Record{
+		{PID: 1, Blocks: 512, Start: 0, End: 900 * bps.Millisecond},
+		// idle second window
+		{PID: 1, Blocks: 256, Start: 2100 * bps.Millisecond, End: 2400 * bps.Millisecond},
+	}
+	points, _ := bps.Timeline(records, bps.Second)
+	for _, p := range points {
+		fmt.Printf("t=%v util=%.0f%% blocks=%d\n", p.Start, 100*p.Utilization(), p.Blocks)
+	}
+	// Output:
+	// t=0ns util=90% blocks=512
+	// t=1s util=0% blocks=0
+	// t=2s util=30% blocks=256
+}
+
+func ExampleNormalizedCC() {
+	// IOPS rising while execution time rises contradicts Table 1's
+	// expected direction, so its normalized CC is negative.
+	iops := []float64{1000, 2000, 3000}
+	exec := []float64{10, 20, 30}
+	cc := bps.Pearson(iops, exec)
+	fmt.Printf("%+.0f\n", bps.NormalizedCC(cc, bps.IOPS))
+	// Output:
+	// -1
+}
+
+func ExampleSimulateSequentialRead() {
+	rep, err := bps.SimulateSequentialRead(
+		bps.RunConfig{Storage: bps.Storage{Media: bps.SSD}, Seed: 1},
+		1,      // one process
+		8<<20,  // 8 MiB
+		64<<10, // 64 KiB records
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ops=%d errors=%d moved=%d MiB\n",
+		rep.Metrics.Ops, rep.Errors, rep.Metrics.MovedBytes>>20)
+	// Output:
+	// ops=128 errors=0 moved=8 MiB
+}

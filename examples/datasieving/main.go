@@ -1,0 +1,51 @@
+// Data sieving: the paper's additional-data-movement experiment
+// (Fig. 12) in miniature. An HPIO-style noncontiguous read sweeps the
+// hole spacing between 256-byte regions with ROMIO-style data sieving
+// enabled: the I/O stack moves the covering extent (holes included), so
+// file-system bandwidth *rises* with spacing while the application only
+// gets slower. BPS, which counts required blocks, points the right way.
+//
+// Run with: go run ./examples/datasieving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bps"
+)
+
+func main() {
+	const (
+		regions    = 16384
+		regionSize = 256
+	)
+	fmt.Printf("%-10s %10s %12s %12s %14s %12s\n",
+		"spacing", "exec (s)", "moved (MB)", "BW (MB/s)", "BPS (blk/s)", "required(MB)")
+
+	var execs, bws, bpss []float64
+	for _, spacing := range []int64{8, 256, 1024, 4096} {
+		rep, err := bps.SimulateNoncontiguousRead(bps.RunConfig{
+			Storage: bps.Storage{Media: bps.HDD, Servers: 4},
+			Seed:    spacing,
+		}, 1, regions, regionSize, spacing, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := rep.Metrics
+		fmt.Printf("%-10s %10.3f %12.2f %12.2f %14.0f %12.2f\n",
+			fmt.Sprintf("%dB", spacing), m.ExecTime.Seconds(),
+			float64(m.MovedBytes)/1e6, m.Bandwidth()/1e6, m.BPS(),
+			float64(m.Blocks*bps.BlockSize)/1e6)
+		execs = append(execs, m.ExecTime.Seconds())
+		bws = append(bws, m.Bandwidth())
+		bpss = append(bpss, m.BPS())
+	}
+
+	fmt.Printf("\nnormalized CC vs execution time: BW=%+.2f BPS=%+.2f\n",
+		bps.NormalizedCC(bps.Pearson(bws, execs), bps.BW),
+		bps.NormalizedCC(bps.Pearson(bpss, execs), bps.BPS))
+	fmt.Println("→ the application needs the same data at every spacing, but the stack")
+	fmt.Println("  moves ever more hole bytes: BW climbs while the run slows down.")
+	fmt.Println("  BPS divides required blocks by overlapped time and falls correctly.")
+}

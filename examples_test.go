@@ -1,0 +1,50 @@
+package bps_test
+
+// Smoke tests for the runnable examples: each must build and exit 0.
+// They guard the documentation's entry points against rot; skipped in
+// -short mode because each `go run` pays a build.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 3 {
+		t.Fatalf("only %d examples found; the repo promises at least 3", len(dirs))
+	}
+	return dirs
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

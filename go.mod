@@ -1,0 +1,3 @@
+module bps
+
+go 1.22

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// MetricKind identifies one of the four I/O metrics the paper compares.
+type MetricKind int
+
+// The metrics under comparison (paper §II and Table 1).
+const (
+	IOPS MetricKind = iota // I/O operations per second
+	BW                     // bandwidth: actually-moved bytes per second
+	ARPT                   // average response time per request
+	BPS                    // blocks per second (the paper's contribution)
+)
+
+// Kinds lists all metric kinds in the paper's presentation order.
+var Kinds = []MetricKind{IOPS, BW, ARPT, BPS}
+
+// String implements fmt.Stringer.
+func (k MetricKind) String() string {
+	switch k {
+	case IOPS:
+		return "IOPS"
+	case BW:
+		return "BW"
+	case ARPT:
+		return "ARPT"
+	case BPS:
+		return "BPS"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(k))
+	}
+}
+
+// Direction is the expected correlation direction between a metric and
+// application execution time.
+type Direction int
+
+// Correlation directions (paper Table 1).
+const (
+	Negative Direction = -1 // metric improves as execution time shrinks
+	Positive Direction = +1 // metric grows with execution time
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Negative {
+		return "negative"
+	}
+	return "positive"
+}
+
+// ExpectedDirection returns the paper's Table 1 entry for the metric:
+// higher IOPS, BW, and BPS should mean shorter execution time (negative
+// CC); higher response time should mean longer execution time (positive
+// CC).
+func (k MetricKind) ExpectedDirection() Direction {
+	if k == ARPT {
+		return Positive
+	}
+	return Negative
+}
+
+// Metrics holds everything measured for one run, from which all four
+// metric values are derived.
+type Metrics struct {
+	Ops        int64    // number of application I/O accesses (N)
+	Blocks     int64    // B: application-required 512-byte blocks
+	MovedBytes int64    // M: bytes actually moved at the file-system level
+	IOTime     sim.Time // T: overlapped I/O time (OverlapTime)
+	SumRespt   sim.Time // Σ per-access response times
+	ExecTime   sim.Time // application execution time (overall performance)
+}
+
+// Compute derives the per-run measurements from a gathered trace, the
+// file-system-level moved-byte count, and the application execution time.
+func Compute(g *trace.Global, movedBytes int64, execTime sim.Time) Metrics {
+	return Metrics{
+		Ops:        int64(g.Len()),
+		Blocks:     g.TotalBlocks(),
+		MovedBytes: movedBytes,
+		IOTime:     OverlapTime(g.Records()),
+		SumRespt:   SumTime(g.Records()),
+		ExecTime:   execTime,
+	}
+}
+
+// BPS returns blocks per second: B / T (paper equation 1).
+func (m Metrics) BPS() float64 {
+	return rate(float64(m.Blocks), m.IOTime)
+}
+
+// IOPS returns application I/O operations per second of I/O activity.
+func (m Metrics) IOPS() float64 {
+	return rate(float64(m.Ops), m.IOTime)
+}
+
+// Bandwidth returns the file-system-level data rate in bytes per second:
+// actually-moved bytes over the overlapped I/O time. Under optimizations
+// such as data sieving, MovedBytes exceeds the application-required bytes
+// — the divergence the paper's Fig. 12 exploits.
+func (m Metrics) Bandwidth() float64 {
+	return rate(float64(m.MovedBytes), m.IOTime)
+}
+
+// ARPT returns the average response time per request in seconds.
+func (m Metrics) ARPT() float64 {
+	if m.Ops == 0 {
+		return 0
+	}
+	return m.SumRespt.Seconds() / float64(m.Ops)
+}
+
+// Value returns the metric value for a kind, for table-driven evaluation.
+func (m Metrics) Value(k MetricKind) float64 {
+	switch k {
+	case IOPS:
+		return m.IOPS()
+	case BW:
+		return m.Bandwidth()
+	case ARPT:
+		return m.ARPT()
+	case BPS:
+		return m.BPS()
+	default:
+		panic("core: unknown metric kind")
+	}
+}
+
+// rate divides a count by a simulated duration in seconds, returning 0
+// for an empty observation window rather than NaN so that degenerate runs
+// stay finite in downstream statistics.
+func rate(count float64, t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return count / t.Seconds()
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+func TestMetricKindStrings(t *testing.T) {
+	want := map[MetricKind]string{IOPS: "IOPS", BW: "BW", ARPT: "ARPT", BPS: "BPS"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if MetricKind(99).String() != "MetricKind(99)" {
+		t.Errorf("unknown kind string = %q", MetricKind(99).String())
+	}
+}
+
+func TestExpectedDirectionsMatchTable1(t *testing.T) {
+	// Paper Table 1.
+	want := map[MetricKind]Direction{
+		IOPS: Negative,
+		BW:   Negative,
+		ARPT: Positive,
+		BPS:  Negative,
+	}
+	for k, d := range want {
+		if k.ExpectedDirection() != d {
+			t.Errorf("%v expected direction = %v, want %v", k, k.ExpectedDirection(), d)
+		}
+	}
+	if Negative.String() != "negative" || Positive.String() != "positive" {
+		t.Error("Direction strings wrong")
+	}
+}
+
+func TestComputeBasic(t *testing.T) {
+	c := trace.NewCollector(1)
+	// Two sequential 1-second accesses of 1024 blocks each.
+	c.Record(1024, 0, sim.Second)
+	c.Record(1024, sim.Second, 2*sim.Second)
+	g := trace.Gather(c)
+	m := Compute(g, 2048*trace.BlockSize, 3*sim.Second)
+
+	if m.Ops != 2 || m.Blocks != 2048 {
+		t.Fatalf("Ops=%d Blocks=%d", m.Ops, m.Blocks)
+	}
+	if m.IOTime != 2*sim.Second {
+		t.Fatalf("IOTime = %v", m.IOTime)
+	}
+	if got := m.BPS(); math.Abs(got-1024) > 1e-9 {
+		t.Fatalf("BPS = %v, want 1024", got)
+	}
+	if got := m.IOPS(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("IOPS = %v, want 1", got)
+	}
+	if got := m.Bandwidth(); math.Abs(got-1024*512) > 1e-6 {
+		t.Fatalf("BW = %v", got)
+	}
+	if got := m.ARPT(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ARPT = %v, want 1s", got)
+	}
+}
+
+// TestPaperFig1a reproduces the paper's Fig. 1(a) IOPS critique: two
+// small requests served in 2T have the same IOPS as one merged request
+// served in T, yet the merged case is twice as fast overall — and BPS
+// tells them apart.
+func TestPaperFig1a(t *testing.T) {
+	const T = sim.Second
+	const blocks = 100
+
+	left := trace.NewCollector(1)
+	left.Record(blocks, 0, T)
+	left.Record(blocks, T, 2*T)
+	mLeft := Compute(trace.Gather(left), 2*blocks*trace.BlockSize, 2*T)
+
+	right := trace.NewCollector(1)
+	right.Record(2*blocks, 0, T)
+	mRight := Compute(trace.Gather(right), 2*blocks*trace.BlockSize, T)
+
+	if mLeft.IOPS() != mRight.IOPS() {
+		t.Fatalf("IOPS should not distinguish the cases: %v vs %v", mLeft.IOPS(), mRight.IOPS())
+	}
+	if !(mRight.BPS() > mLeft.BPS()) {
+		t.Fatalf("BPS must prefer the merged case: left=%v right=%v", mLeft.BPS(), mRight.BPS())
+	}
+	if mRight.BPS() != 2*mLeft.BPS() {
+		t.Fatalf("merged case should double BPS: %v vs %v", mRight.BPS(), mLeft.BPS())
+	}
+}
+
+// TestPaperFig1b reproduces Fig. 1(b): extra data movement raises BW but
+// not BPS when the application-visible time is unchanged.
+func TestPaperFig1b(t *testing.T) {
+	const T = sim.Second
+	const appBytes = 100 * trace.BlockSize
+
+	plain := trace.NewCollector(1)
+	plain.Record(100, 0, T)
+	plain.Record(100, T, 2*T)
+	mPlain := Compute(trace.Gather(plain), 2*appBytes, 2*T)
+
+	extra := trace.NewCollector(1)
+	extra.Record(100, 0, T)
+	extra.Record(100, T, 2*T)
+	// Same required data and time, but the I/O stack moved twice as much.
+	mExtra := Compute(trace.Gather(extra), 4*appBytes, 2*T)
+
+	if !(mExtra.Bandwidth() > mPlain.Bandwidth()) {
+		t.Fatal("BW should rise with extra movement")
+	}
+	if mExtra.BPS() != mPlain.BPS() {
+		t.Fatalf("BPS must not rise with extra movement: %v vs %v", mExtra.BPS(), mPlain.BPS())
+	}
+}
+
+// TestPaperFig1c reproduces Fig. 1(c): sequential vs concurrent requests
+// have equal ARPT, but BPS rewards the concurrency.
+func TestPaperFig1c(t *testing.T) {
+	const T = sim.Second
+
+	seq := trace.NewCollector(1)
+	seq.Record(100, 0, T)
+	seq.Record(100, T, 2*T)
+	mSeq := Compute(trace.Gather(seq), 200*trace.BlockSize, 2*T)
+
+	conc := trace.NewCollector(1)
+	conc.Record(100, 0, T)
+	conc.Record(100, 0, T) // concurrent
+	mConc := Compute(trace.Gather(conc), 200*trace.BlockSize, T)
+
+	if mSeq.ARPT() != mConc.ARPT() {
+		t.Fatalf("ARPT should not distinguish: %v vs %v", mSeq.ARPT(), mConc.ARPT())
+	}
+	if mConc.BPS() != 2*mSeq.BPS() {
+		t.Fatalf("BPS must reward concurrency: seq=%v conc=%v", mSeq.BPS(), mConc.BPS())
+	}
+}
+
+func TestMetricsEmptyRun(t *testing.T) {
+	m := Compute(trace.Gather(), 0, 0)
+	for _, k := range Kinds {
+		if v := m.Value(k); v != 0 || math.IsNaN(v) {
+			t.Errorf("%v on empty run = %v, want 0", k, v)
+		}
+	}
+}
+
+func TestMetricsValueDispatch(t *testing.T) {
+	c := trace.NewCollector(1)
+	c.Record(512, 0, sim.Second)
+	m := Compute(trace.Gather(c), 512*trace.BlockSize, sim.Second)
+	if m.Value(IOPS) != m.IOPS() || m.Value(BW) != m.Bandwidth() ||
+		m.Value(ARPT) != m.ARPT() || m.Value(BPS) != m.BPS() {
+		t.Fatal("Value dispatch disagrees with direct methods")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Value of unknown kind did not panic")
+		}
+	}()
+	m.Value(MetricKind(42))
+}
+
+// TestFailedAccessesCountInB pins §III.A: non-successful accesses are
+// counted in B like any other.
+func TestFailedAccessesCountInB(t *testing.T) {
+	c := trace.NewCollector(1)
+	c.Record(100, 0, sim.Second)            // success
+	c.Record(100, sim.Second, 2*sim.Second) // failed access, still recorded
+	m := Compute(trace.Gather(c), 100*trace.BlockSize, 2*sim.Second)
+	if m.Blocks != 200 {
+		t.Fatalf("B = %d, want 200 (failed ops count)", m.Blocks)
+	}
+}

@@ -1,0 +1,151 @@
+// Package core implements the BPS paper's contribution: the overlapped
+// I/O-time computation (paper Fig. 3) and the four I/O metrics under
+// comparison — IOPS, bandwidth, average response time, and BPS itself —
+// computed from gathered trace records.
+package core
+
+import (
+	"sort"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// Interval is a half-open span of simulated time [Start, End).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Duration returns End−Start, or 0 for inverted intervals.
+func (iv Interval) Duration() sim.Time {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// OverlapTime computes T in the BPS equation: the union ("overlapped
+// mode") of all access intervals. Concurrent accesses are counted once
+// and idle gaps are excluded, per paper §III.A and Fig. 2. The input
+// order does not matter; cost is O(n log n) for the sort plus one linear
+// merge pass — the paper's Fig. 3 algorithm.
+func OverlapTime(records []trace.Record) sim.Time {
+	ivs := make([]Interval, 0, len(records))
+	for _, r := range records {
+		ivs = append(ivs, Interval{Start: r.Start, End: r.End})
+	}
+	return OverlapIntervals(ivs)
+}
+
+// OverlapIntervals computes the union length of arbitrary intervals.
+// The slice is sorted in place.
+func OverlapIntervals(ivs []Interval) sim.Time {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+	return overlapSorted(ivs)
+}
+
+// overlapSorted is the merge pass of the paper's Fig. 3 algorithm: walk
+// records in start order, extending the current merged interval while the
+// next record begins before (or exactly when) it ends, otherwise banking
+// its duration and starting a new one.
+func overlapSorted(ivs []Interval) sim.Time {
+	var total sim.Time
+	cur := ivs[0]
+	for _, next := range ivs[1:] {
+		if cur.End < next.Start {
+			total += cur.Duration()
+			cur = next
+			continue
+		}
+		if next.End > cur.End {
+			cur.End = next.End
+		}
+	}
+	return total + cur.Duration()
+}
+
+// SumTime is the naive alternative to OverlapTime: the arithmetic sum of
+// every access duration, counting concurrent time multiply. It exists for
+// the ablation benchmarks showing why the overlap union matters; ARPT is
+// SumTime/N.
+func SumTime(records []trace.Record) sim.Time {
+	var total sim.Time
+	for _, r := range records {
+		total += r.Duration()
+	}
+	return total
+}
+
+// Span returns the wall span from the earliest start to the latest end,
+// including idle gaps. Together with SumTime it brackets OverlapTime:
+//
+//	max single duration ≤ OverlapTime ≤ min(Span, SumTime)
+func Span(records []trace.Record) sim.Time {
+	if len(records) == 0 {
+		return 0
+	}
+	lo, hi := records[0].Start, records[0].End
+	for _, r := range records[1:] {
+		if r.Start < lo {
+			lo = r.Start
+		}
+		if r.End > hi {
+			hi = r.End
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// MergeAccumulator is a streaming form of the Fig. 3 merge pass for
+// callers that already produce records sorted by start time (e.g. a
+// time-ordered trace file): O(1) memory instead of buffering the whole
+// collection.
+type MergeAccumulator struct {
+	total   sim.Time
+	cur     Interval
+	started bool
+	lastAdd sim.Time
+}
+
+// Add feeds the next interval. Intervals must arrive in nondecreasing
+// start order; Add panics otherwise, because a silently wrong T would
+// invalidate every metric computed from it.
+func (m *MergeAccumulator) Add(start, end sim.Time) {
+	if m.started && start < m.lastAdd {
+		panic("core: MergeAccumulator fed out-of-order interval")
+	}
+	m.lastAdd = start
+	iv := Interval{Start: start, End: end}
+	if !m.started {
+		m.cur = iv
+		m.started = true
+		return
+	}
+	if m.cur.End < iv.Start {
+		m.total += m.cur.Duration()
+		m.cur = iv
+		return
+	}
+	if iv.End > m.cur.End {
+		m.cur.End = iv.End
+	}
+}
+
+// Total returns the union length of everything added so far.
+func (m *MergeAccumulator) Total() sim.Time {
+	if !m.started {
+		return 0
+	}
+	return m.total + m.cur.Duration()
+}

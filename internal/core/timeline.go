@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// TimelinePoint is the measurement of one fixed window of a run.
+type TimelinePoint struct {
+	Index int
+	Start sim.Time // window start (inclusive)
+	End   sim.Time // window end (exclusive)
+
+	Ops    int64    // accesses completed in the window
+	Blocks int64    // required blocks of those accesses
+	Busy   sim.Time // I/O activity inside the window (overlap union ∩ window)
+}
+
+// BPS returns the window's blocks-per-second over its busy time.
+func (p TimelinePoint) BPS() float64 { return rate(float64(p.Blocks), p.Busy) }
+
+// IOPS returns the window's completed operations per second of busy time.
+func (p TimelinePoint) IOPS() float64 { return rate(float64(p.Ops), p.Busy) }
+
+// Utilization returns the fraction of the window with I/O in flight.
+func (p TimelinePoint) Utilization() float64 {
+	if p.End <= p.Start {
+		return 0
+	}
+	return float64(p.Busy) / float64(p.End-p.Start)
+}
+
+// Timeline slices a run into fixed windows and measures each one,
+// turning the single-number BPS into a time series — the paper's
+// "easy-to-use toolkit" direction (§V). Completed work is attributed to
+// the window containing the access's end time (completion-time
+// attribution, like iostat), while busy time is the exact intersection
+// of the run's overlap union with each window, so a window's BPS never
+// counts concurrent time twice and idle windows report zero.
+func Timeline(g *trace.Global, window sim.Time) ([]TimelinePoint, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("core: timeline window %v must be positive", window)
+	}
+	records := g.Records()
+	if len(records) == 0 {
+		return nil, nil
+	}
+
+	lo, hi := records[0].Start, records[0].End
+	for _, r := range records[1:] {
+		if r.Start < lo {
+			lo = r.Start
+		}
+		if r.End > hi {
+			hi = r.End
+		}
+	}
+	lo = lo / window * window // align to window grid
+	n := int((hi-lo)/window) + 1
+
+	points := make([]TimelinePoint, n)
+	for i := range points {
+		points[i] = TimelinePoint{
+			Index: i,
+			Start: lo + sim.Time(i)*window,
+			End:   lo + sim.Time(i+1)*window,
+		}
+	}
+
+	// Completion-time attribution of ops and blocks.
+	for _, r := range records {
+		w := int((r.End - lo) / window)
+		if r.End == points[w].Start && w > 0 {
+			w-- // zero-length record exactly on a boundary belongs left
+		}
+		if w >= n {
+			w = n - 1
+		}
+		points[w].Ops++
+		points[w].Blocks += r.Blocks
+	}
+
+	// Busy time: merge the union once, then distribute each merged span
+	// over the windows it crosses.
+	sorted := trace.FromRecords(append([]trace.Record(nil), records...))
+	sorted.SortByStart()
+	var acc spanCollector
+	acc.grid = lo
+	acc.window = window
+	acc.points = points
+	for _, r := range sorted.Records() {
+		acc.add(r.Start, r.End)
+	}
+	acc.flush()
+	return points, nil
+}
+
+// spanCollector merges sorted intervals and spreads merged spans across
+// windows.
+type spanCollector struct {
+	grid    sim.Time
+	window  sim.Time
+	points  []TimelinePoint
+	cur     Interval
+	started bool
+}
+
+func (c *spanCollector) add(start, end sim.Time) {
+	iv := Interval{Start: start, End: end}
+	if !c.started {
+		c.cur = iv
+		c.started = true
+		return
+	}
+	if c.cur.End < iv.Start {
+		c.spread(c.cur)
+		c.cur = iv
+		return
+	}
+	if iv.End > c.cur.End {
+		c.cur.End = iv.End
+	}
+}
+
+func (c *spanCollector) flush() {
+	if c.started {
+		c.spread(c.cur)
+		c.started = false
+	}
+}
+
+// spread adds the span's time to each window it intersects.
+func (c *spanCollector) spread(iv Interval) {
+	if iv.End <= iv.Start {
+		return
+	}
+	for t := iv.Start; t < iv.End; {
+		w := int((t - c.grid) / c.window)
+		if w >= len(c.points) {
+			break
+		}
+		winEnd := c.points[w].End
+		seg := iv.End
+		if seg > winEnd {
+			seg = winEnd
+		}
+		c.points[w].Busy += seg - t
+		t = seg
+	}
+}

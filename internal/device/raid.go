@@ -1,0 +1,241 @@
+package device
+
+import (
+	"fmt"
+
+	"bps/internal/sim"
+)
+
+// RAID0 stripes requests across member devices: chunks land on member
+// (chunkIndex mod n) and are serviced in parallel, so large requests
+// approach n× a single member's throughput.
+type RAID0 struct {
+	eng     *sim.Engine
+	name    string
+	members []Device
+	stripe  int64
+	stats   Stats
+}
+
+// NewRAID0 composes members (≥ 1) with the given stripe size.
+func NewRAID0(e *sim.Engine, name string, members []Device, stripe int64) *RAID0 {
+	if len(members) == 0 {
+		panic("device: RAID0 needs at least one member")
+	}
+	if stripe <= 0 {
+		panic("device: RAID0 stripe must be positive")
+	}
+	return &RAID0{eng: e, name: name, members: members, stripe: stripe}
+}
+
+// Name implements Device.
+func (d *RAID0) Name() string { return d.name }
+
+// Capacity implements Device: n × the smallest member (striping cannot
+// address past the smallest member's extent).
+func (d *RAID0) Capacity() int64 {
+	smallest := d.members[0].Capacity()
+	for _, m := range d.members[1:] {
+		if c := m.Capacity(); c < smallest {
+			smallest = c
+		}
+	}
+	return smallest * int64(len(d.members))
+}
+
+// Stats implements Device.
+func (d *RAID0) Stats() Stats { return d.stats }
+
+// BusyTime implements Device: the maximum member busy time, i.e. the
+// busiest spindle.
+func (d *RAID0) BusyTime() sim.Time {
+	var busy sim.Time
+	for _, m := range d.members {
+		if b := m.BusyTime(); b > busy {
+			busy = b
+		}
+	}
+	return busy
+}
+
+// memberChunk is one contiguous piece of a striped request.
+type memberChunk struct {
+	member int
+	req    Request
+}
+
+// split maps a request onto member-local requests, coalescing stripes
+// that land contiguously on the same member (consecutive stripes of one
+// member are adjacent locally, so a large request yields one chunk per
+// member).
+func (d *RAID0) split(req Request) []memberChunk {
+	n := int64(len(d.members))
+	var out []memberChunk
+	lastOf := make([]int, len(d.members))
+	for i := range lastOf {
+		lastOf[i] = -1
+	}
+	off, size := req.Offset, req.Size
+	for size > 0 {
+		stripeIdx := off / d.stripe
+		within := off % d.stripe
+		run := d.stripe - within
+		if run > size {
+			run = size
+		}
+		member := int(stripeIdx % n)
+		local := (stripeIdx/n)*d.stripe + within
+		if li := lastOf[member]; li >= 0 && out[li].req.End() == local {
+			out[li].req.Size += run
+		} else {
+			out = append(out, memberChunk{
+				member: member,
+				req:    Request{Offset: local, Size: run, Write: req.Write},
+			})
+			lastOf[member] = len(out) - 1
+		}
+		off += run
+		size -= run
+	}
+	return out
+}
+
+// Access implements Device: member chunks are issued in parallel and the
+// request completes when the slowest member finishes. A member error
+// fails the whole request (after all members finish, as a real
+// controller would report).
+func (d *RAID0) Access(p *sim.Proc, req Request) error {
+	if err := req.Validate(d.Capacity()); err != nil {
+		d.stats.Errors++
+		return err
+	}
+	chunks := d.split(req)
+	err := d.parallel(p, chunks)
+	if err != nil {
+		d.stats.Errors++
+		return err
+	}
+	d.account(req)
+	return nil
+}
+
+// parallel issues chunks concurrently and waits for all of them.
+func (d *RAID0) parallel(p *sim.Proc, chunks []memberChunk) error {
+	if len(chunks) == 1 {
+		return d.members[chunks[0].member].Access(p, chunks[0].req)
+	}
+	futures := make([]*sim.Future, len(chunks))
+	errs := make([]error, len(chunks))
+	for i, ch := range chunks {
+		i, ch := i, ch
+		futures[i] = d.eng.NewFuture()
+		d.eng.Spawn(fmt.Sprintf("%s.m%d", d.name, ch.member), func(sub *sim.Proc) {
+			errs[i] = d.members[ch.member].Access(sub, ch.req)
+			futures[i].Complete()
+		})
+	}
+	sim.WaitAll(p, futures...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *RAID0) account(req Request) {
+	if req.Write {
+		d.stats.Writes++
+		d.stats.BytesWritten += req.Size
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += req.Size
+	}
+}
+
+// RAID1 mirrors member devices: writes go to every member in parallel
+// (completing with the slowest), reads are balanced round-robin across
+// members, so concurrent readers scale while writers pay the slowest
+// mirror.
+type RAID1 struct {
+	eng     *sim.Engine
+	name    string
+	members []Device
+	next    int
+	stats   Stats
+}
+
+// NewRAID1 composes mirrored members (≥ 2).
+func NewRAID1(e *sim.Engine, name string, members []Device) *RAID1 {
+	if len(members) < 2 {
+		panic("device: RAID1 needs at least two members")
+	}
+	return &RAID1{eng: e, name: name, members: members}
+}
+
+// Name implements Device.
+func (d *RAID1) Name() string { return d.name }
+
+// Capacity implements Device: the smallest mirror.
+func (d *RAID1) Capacity() int64 {
+	smallest := d.members[0].Capacity()
+	for _, m := range d.members[1:] {
+		if c := m.Capacity(); c < smallest {
+			smallest = c
+		}
+	}
+	return smallest
+}
+
+// Stats implements Device.
+func (d *RAID1) Stats() Stats { return d.stats }
+
+// BusyTime implements Device.
+func (d *RAID1) BusyTime() sim.Time {
+	var busy sim.Time
+	for _, m := range d.members {
+		if b := m.BusyTime(); b > busy {
+			busy = b
+		}
+	}
+	return busy
+}
+
+// Access implements Device.
+func (d *RAID1) Access(p *sim.Proc, req Request) error {
+	if err := req.Validate(d.Capacity()); err != nil {
+		d.stats.Errors++
+		return err
+	}
+	if !req.Write {
+		member := d.members[d.next]
+		d.next = (d.next + 1) % len(d.members)
+		if err := member.Access(p, req); err != nil {
+			d.stats.Errors++
+			return err
+		}
+		d.stats.Reads++
+		d.stats.BytesRead += req.Size
+		return nil
+	}
+	futures := make([]*sim.Future, len(d.members))
+	errs := make([]error, len(d.members))
+	for i, m := range d.members {
+		i, m := i, m
+		futures[i] = d.eng.NewFuture()
+		d.eng.Spawn(fmt.Sprintf("%s.m%d", d.name, i), func(sub *sim.Proc) {
+			errs[i] = m.Access(sub, req)
+			futures[i].Complete()
+		})
+	}
+	sim.WaitAll(p, futures...)
+	for _, err := range errs {
+		if err != nil {
+			d.stats.Errors++
+			return err
+		}
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += req.Size
+	return nil
+}

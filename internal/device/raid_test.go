@@ -1,0 +1,225 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bps/internal/sim"
+)
+
+func newRAID0(e *sim.Engine, n int, rate float64) *RAID0 {
+	members := make([]Device, n)
+	for i := range members {
+		members[i] = NewRAMDisk(e, "m", 1<<30, 100*sim.Microsecond, rate)
+	}
+	return NewRAID0(e, "raid0", members, 64<<10)
+}
+
+func TestRAID0Construction(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty member list did not panic")
+		}
+	}()
+	NewRAID0(e, "bad", nil, 64<<10)
+}
+
+func TestRAID0Capacity(t *testing.T) {
+	e := sim.NewEngine(1)
+	members := []Device{
+		NewRAMDisk(e, "a", 1<<30, 0, 1e9),
+		NewRAMDisk(e, "b", 2<<30, 0, 1e9), // larger member truncated
+	}
+	d := NewRAID0(e, "raid0", members, 64<<10)
+	if d.Capacity() != 2<<30 {
+		t.Fatalf("capacity = %d, want 2×smallest", d.Capacity())
+	}
+}
+
+func TestRAID0SplitCoversAndCoalesces(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newRAID0(e, 4, 1e9)
+	// A 1 MiB read covers 16 stripes over 4 members: one coalesced chunk
+	// of 256 KiB per member.
+	chunks := d.split(Request{Offset: 0, Size: 1 << 20})
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	var total int64
+	for _, ch := range chunks {
+		if ch.req.Size != 256<<10 {
+			t.Fatalf("chunk size = %d", ch.req.Size)
+		}
+		total += ch.req.Size
+	}
+	if total != 1<<20 {
+		t.Fatalf("covered %d", total)
+	}
+}
+
+// Property: split covers the request exactly for arbitrary geometry.
+func TestRAID0SplitProperty(t *testing.T) {
+	e := sim.NewEngine(1)
+	prop := func(off, size uint32, n uint8) bool {
+		d := newRAID0(e, int(n%4)+1, 1e9)
+		o := int64(off) % (1 << 28)
+		s := int64(size)%(1<<22) + 1
+		var sum int64
+		for _, ch := range d.split(Request{Offset: o, Size: s}) {
+			if ch.req.Size <= 0 {
+				return false
+			}
+			sum += ch.req.Size
+		}
+		return sum == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAID0ParallelSpeedup(t *testing.T) {
+	read := func(n int) sim.Time {
+		e := sim.NewEngine(1)
+		d := newRAID0(e, n, 100e6)
+		e.Spawn("r", func(p *sim.Proc) {
+			if err := d.Access(p, Request{Offset: 0, Size: 32 << 20}); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	one, four := read(1), read(4)
+	if four*3 > one {
+		t.Fatalf("RAID0x4 (%v) not ≳4× faster than x1 (%v)", four, one)
+	}
+}
+
+func TestRAID0Stats(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := newRAID0(e, 2, 1e9)
+	e.Spawn("rw", func(p *sim.Proc) {
+		if err := d.Access(p, Request{Offset: 0, Size: 128 << 10}); err != nil {
+			t.Error(err)
+		}
+		if err := d.Access(p, Request{Offset: 0, Size: 64 << 10, Write: true}); err != nil {
+			t.Error(err)
+		}
+		if err := d.Access(p, Request{Offset: -1, Size: 4}); err == nil {
+			t.Error("invalid request accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.BytesRead != 128<<10 || s.BytesWritten != 64<<10 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if d.BusyTime() <= 0 {
+		t.Fatal("zero busy time")
+	}
+}
+
+func TestRAID1Construction(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("single-member RAID1 did not panic")
+		}
+	}()
+	NewRAID1(e, "bad", []Device{NewRAMDisk(e, "m", 1<<30, 0, 1e9)})
+}
+
+func TestRAID1WritesMirror(t *testing.T) {
+	e := sim.NewEngine(1)
+	members := []Device{
+		NewRAMDisk(e, "a", 1<<30, 0, 1e9),
+		NewRAMDisk(e, "b", 1<<30, 0, 1e9),
+	}
+	d := NewRAID1(e, "raid1", members)
+	e.Spawn("w", func(p *sim.Proc) {
+		if err := d.Access(p, Request{Offset: 0, Size: 1 << 20, Write: true}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if m.Stats().BytesWritten != 1<<20 {
+			t.Fatalf("member %d wrote %d, want full mirror", i, m.Stats().BytesWritten)
+		}
+	}
+	if d.Stats().Writes != 1 {
+		t.Fatalf("raid writes = %d", d.Stats().Writes)
+	}
+}
+
+func TestRAID1ReadsBalance(t *testing.T) {
+	e := sim.NewEngine(1)
+	members := []Device{
+		NewRAMDisk(e, "a", 1<<30, 0, 1e9),
+		NewRAMDisk(e, "b", 1<<30, 0, 1e9),
+	}
+	d := NewRAID1(e, "raid1", members)
+	e.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := d.Access(p, Request{Offset: 0, Size: 4096}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := members[0].Stats().Reads, members[1].Stats().Reads
+	if a != 5 || b != 5 {
+		t.Fatalf("read balance = %d/%d, want 5/5", a, b)
+	}
+}
+
+func TestRAID1WriteSlowestMirrorDominates(t *testing.T) {
+	e := sim.NewEngine(1)
+	fast := NewRAMDisk(e, "fast", 1<<30, 0, 1e9)
+	slow := NewRAMDisk(e, "slow", 1<<30, 0, 10e6)
+	d := NewRAID1(e, "raid1", []Device{fast, slow})
+	e.Spawn("w", func(p *sim.Proc) {
+		if err := d.Access(p, Request{Offset: 0, Size: 10 << 20, Write: true}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 MiB at 10 MB/s ≈ 1.05 s: the slow mirror gates the write.
+	if e.Now() < sim.Second {
+		t.Fatalf("mirrored write finished in %v, ignored slow member", e.Now())
+	}
+}
+
+func TestRAID1CapacityAndErrors(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewRAID1(e, "raid1", []Device{
+		NewRAMDisk(e, "a", 1<<20, 0, 1e9),
+		NewRAMDisk(e, "b", 2<<20, 0, 1e9),
+	})
+	if d.Capacity() != 1<<20 {
+		t.Fatalf("capacity = %d, want smallest mirror", d.Capacity())
+	}
+	e.Spawn("r", func(p *sim.Proc) {
+		if err := d.Access(p, Request{Offset: 1 << 20, Size: 1}); err == nil {
+			t.Error("out-of-capacity read accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Errors != 1 {
+		t.Fatalf("errors = %d", d.Stats().Errors)
+	}
+}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"bps/internal/sim"
+)
+
+// RAMDisk is a near-instant device used in tests and as a memory-speed
+// baseline: fixed tiny latency plus a very high transfer rate, unbounded
+// concurrency.
+type RAMDisk struct {
+	name     string
+	capacity int64
+	latency  sim.Time
+	rate     float64
+	stats    Stats
+	busy     *sim.Resource
+}
+
+// ramConcurrency caps concurrent RAM-disk accesses; effectively unbounded
+// for any workload in this repository while keeping busy-time accounting.
+const ramConcurrency = 1 << 16
+
+// NewRAMDisk constructs a RAM-backed device with the given per-request
+// latency and transfer rate.
+func NewRAMDisk(e *sim.Engine, name string, capacity int64, latency sim.Time, rate float64) *RAMDisk {
+	if capacity <= 0 || rate <= 0 {
+		panic("device: invalid RAMDisk config")
+	}
+	return &RAMDisk{
+		name:     name,
+		capacity: capacity,
+		latency:  latency,
+		rate:     rate,
+		busy:     e.NewResource(name+".mem", ramConcurrency),
+	}
+}
+
+// Name implements Device.
+func (d *RAMDisk) Name() string { return d.name }
+
+// Capacity implements Device.
+func (d *RAMDisk) Capacity() int64 { return d.capacity }
+
+// Stats implements Device.
+func (d *RAMDisk) Stats() Stats { return d.stats }
+
+// BusyTime implements Device.
+func (d *RAMDisk) BusyTime() sim.Time { return d.busy.BusyTime() }
+
+// Access implements Device.
+func (d *RAMDisk) Access(p *sim.Proc, req Request) error {
+	if err := req.Validate(d.capacity); err != nil {
+		d.stats.Errors++
+		return err
+	}
+	d.busy.Acquire(p)
+	p.Sleep(d.latency + sim.TransferTime(req.Size, d.rate))
+	if req.Write {
+		d.stats.Writes++
+		d.stats.BytesWritten += req.Size
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += req.Size
+	}
+	d.busy.Release()
+	return nil
+}
+
+// FaultInjector wraps a device and fails every Nth request (N = Every).
+// Failed requests consume the full service time of the underlying device
+// before returning ErrInjectedFault, modelling retried/failed accesses
+// that the BPS paper still counts in B.
+type FaultInjector struct {
+	Inner Device
+	Every uint64 // fail request numbers k·Every (1-based); 0 disables
+
+	n     uint64
+	stats Stats
+}
+
+// NewFaultInjector wraps inner, failing every nth access.
+func NewFaultInjector(inner Device, every uint64) *FaultInjector {
+	return &FaultInjector{Inner: inner, Every: every}
+}
+
+// Name implements Device.
+func (f *FaultInjector) Name() string { return f.Inner.Name() + "+faults" }
+
+// Capacity implements Device.
+func (f *FaultInjector) Capacity() int64 { return f.Inner.Capacity() }
+
+// BusyTime implements Device.
+func (f *FaultInjector) BusyTime() sim.Time { return f.Inner.BusyTime() }
+
+// Stats implements Device. Counters include both successful and failed
+// accesses; Errors counts the injected faults.
+func (f *FaultInjector) Stats() Stats {
+	s := f.Inner.Stats()
+	s.Errors += f.stats.Errors
+	return s
+}
+
+// Access implements Device.
+func (f *FaultInjector) Access(p *sim.Proc, req Request) error {
+	err := f.Inner.Access(p, req)
+	if err != nil {
+		return err
+	}
+	f.n++
+	if f.Every > 0 && f.n%f.Every == 0 {
+		f.stats.Errors++
+		return ErrInjectedFault
+	}
+	return nil
+}

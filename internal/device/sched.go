@@ -1,0 +1,184 @@
+package device
+
+import (
+	"fmt"
+
+	"bps/internal/sim"
+)
+
+// SchedPolicy selects the request-ordering discipline of a Scheduler.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// FCFS serves requests strictly in arrival order.
+	FCFS SchedPolicy = iota
+
+	// SSTF serves the pending request with the shortest seek distance
+	// from the current head position (can starve edge requests).
+	SSTF
+
+	// SCAN is the classic elevator: the head sweeps upward serving
+	// requests in offset order, then reverses.
+	SCAN
+)
+
+// String implements fmt.Stringer.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case SSTF:
+		return "sstf"
+	case SCAN:
+		return "scan"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// Scheduler wraps a device with an I/O scheduler: concurrent requests
+// queue in the scheduler and a dispatcher process forwards them to the
+// device one at a time in policy order. It models a block-layer elevator
+// in front of a single-spindle disk; wrapping a parallel device (SSD,
+// RAID) serializes it, which is occasionally what you want to measure.
+type Scheduler struct {
+	eng    *sim.Engine
+	inner  Device
+	policy SchedPolicy
+
+	arrivals *sim.Queue
+	pending  []*schedReq
+	headPos  int64
+	upward   bool
+
+	dispatched uint64
+}
+
+// schedReq is one queued request with its completion.
+type schedReq struct {
+	req  Request
+	done *sim.Future
+	err  error
+}
+
+// NewScheduler wraps inner with the given policy and starts the
+// dispatcher daemon.
+func NewScheduler(e *sim.Engine, inner Device, policy SchedPolicy) *Scheduler {
+	s := &Scheduler{
+		eng:      e,
+		inner:    inner,
+		policy:   policy,
+		arrivals: e.NewQueue(),
+		upward:   true,
+	}
+	e.SpawnDaemon(inner.Name()+"."+policy.String(), s.dispatch)
+	return s
+}
+
+// Name implements Device.
+func (s *Scheduler) Name() string { return s.inner.Name() + "+" + s.policy.String() }
+
+// Capacity implements Device.
+func (s *Scheduler) Capacity() int64 { return s.inner.Capacity() }
+
+// Stats implements Device.
+func (s *Scheduler) Stats() Stats { return s.inner.Stats() }
+
+// BusyTime implements Device.
+func (s *Scheduler) BusyTime() sim.Time { return s.inner.BusyTime() }
+
+// QueueLen returns the number of requests waiting in the scheduler.
+func (s *Scheduler) QueueLen() int { return len(s.pending) + s.arrivals.Len() }
+
+// Dispatched returns the number of requests forwarded to the device.
+func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
+
+// Access implements Device: the request is queued and the caller parks
+// until the dispatcher has serviced it.
+func (s *Scheduler) Access(p *sim.Proc, req Request) error {
+	sr := &schedReq{req: req, done: s.eng.NewFuture()}
+	s.arrivals.Put(sr)
+	sr.done.Wait(p)
+	return sr.err
+}
+
+// dispatch is the scheduler daemon: it batches arrivals and serves one
+// pending request per iteration in policy order.
+func (s *Scheduler) dispatch(p *sim.Proc) {
+	for {
+		// Admit arrivals; block only when there is nothing to do at all.
+		for s.arrivals.Len() > 0 || len(s.pending) == 0 {
+			sr := s.arrivals.Get(p).(*schedReq)
+			s.pending = append(s.pending, sr)
+			if s.arrivals.Len() == 0 {
+				break
+			}
+		}
+		idx := s.pick()
+		sr := s.pending[idx]
+		s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+
+		sr.err = s.inner.Access(p, sr.req)
+		s.headPos = sr.req.End()
+		s.dispatched++
+		sr.done.Complete()
+	}
+}
+
+// pick returns the index of the next request per the policy.
+func (s *Scheduler) pick() int {
+	switch s.policy {
+	case SSTF:
+		return s.pickSSTF()
+	case SCAN:
+		return s.pickSCAN()
+	default:
+		return 0
+	}
+}
+
+func (s *Scheduler) pickSSTF() int {
+	best, bestDist := 0, int64(-1)
+	for i, sr := range s.pending {
+		d := sr.req.Offset - s.headPos
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) pickSCAN() int {
+	// Nearest request at or beyond the head in the sweep direction; if
+	// none remains, reverse and retry.
+	for attempt := 0; attempt < 2; attempt++ {
+		best := -1
+		var bestKey int64
+		for i, sr := range s.pending {
+			var ahead bool
+			var key int64
+			if s.upward {
+				ahead = sr.req.Offset >= s.headPos
+				key = sr.req.Offset
+			} else {
+				ahead = sr.req.Offset <= s.headPos
+				key = -sr.req.Offset
+			}
+			if !ahead {
+				continue
+			}
+			if best < 0 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		s.upward = !s.upward
+	}
+	return 0 // unreachable with a non-empty pending list, but stay safe
+}

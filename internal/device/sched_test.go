@@ -1,0 +1,156 @@
+package device
+
+import (
+	"testing"
+
+	"bps/internal/sim"
+)
+
+func TestSchedPolicyStrings(t *testing.T) {
+	if FCFS.String() != "fcfs" || SSTF.String() != "sstf" || SCAN.String() != "scan" {
+		t.Fatal("policy strings wrong")
+	}
+	if SchedPolicy(9).String() != "SchedPolicy(9)" {
+		t.Fatal("unknown policy string wrong")
+	}
+}
+
+// randomWorkload issues n scattered single-block reads from k concurrent
+// processes through a scheduler on an HDD, returning the makespan.
+func randomWorkload(t *testing.T, policy SchedPolicy) sim.Time {
+	t.Helper()
+	e := sim.NewEngine(11)
+	hdd := NewHDD(e, DefaultHDD())
+	sched := NewScheduler(e, hdd, policy)
+	offsets := []int64{
+		200e9, 10e9, 150e9, 40e9, 220e9, 70e9, 120e9, 5e9,
+		180e9, 90e9, 240e9, 30e9, 160e9, 60e9, 110e9, 20e9,
+	}
+	for k := 0; k < 4; k++ {
+		k := k
+		e.Spawn("client", func(p *sim.Proc) {
+			for i := k; i < len(offsets); i += 4 {
+				if err := sched.Access(p, Request{Offset: offsets[i], Size: 4096}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Dispatched(); got != uint64(len(offsets)) {
+		t.Fatalf("dispatched %d, want %d", got, len(offsets))
+	}
+	return e.Now()
+}
+
+func TestElevatorBeatsFCFSOnRandomLoad(t *testing.T) {
+	fcfs := randomWorkload(t, FCFS)
+	sstf := randomWorkload(t, SSTF)
+	scan := randomWorkload(t, SCAN)
+	if sstf >= fcfs {
+		t.Errorf("SSTF (%v) not faster than FCFS (%v)", sstf, fcfs)
+	}
+	if scan >= fcfs {
+		t.Errorf("SCAN (%v) not faster than FCFS (%v)", scan, fcfs)
+	}
+}
+
+func TestSchedulerFCFSPreservesArrivalOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	ram := NewRAMDisk(e, "ram", 1<<30, sim.Millisecond, 1e9)
+	sched := NewScheduler(e, ram, FCFS)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("c", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * sim.Microsecond) // deterministic arrival order
+			if err := sched.Access(p, Request{Offset: int64(i) * 4096, Size: 4096}); err != nil {
+				t.Error(err)
+			}
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("completion order = %v", order)
+		}
+	}
+}
+
+func TestSchedulerPropagatesErrors(t *testing.T) {
+	e := sim.NewEngine(1)
+	ram := NewRAMDisk(e, "ram", 1<<20, 0, 1e9)
+	sched := NewScheduler(e, ram, SCAN)
+	e.Spawn("c", func(p *sim.Proc) {
+		if err := sched.Access(p, Request{Offset: 2 << 20, Size: 4096}); err == nil {
+			t.Error("out-of-capacity request succeeded through scheduler")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDelegation(t *testing.T) {
+	e := sim.NewEngine(1)
+	ram := NewRAMDisk(e, "ram", 1<<30, 0, 1e9)
+	sched := NewScheduler(e, ram, SCAN)
+	if sched.Name() != "ram+scan" {
+		t.Fatalf("name = %q", sched.Name())
+	}
+	if sched.Capacity() != 1<<30 {
+		t.Fatalf("capacity = %d", sched.Capacity())
+	}
+	e.Spawn("c", func(p *sim.Proc) {
+		if err := sched.Access(p, Request{Offset: 0, Size: 4096}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats().Reads != 1 {
+		t.Fatalf("stats = %+v", sched.Stats())
+	}
+	if sched.QueueLen() != 0 {
+		t.Fatalf("queue = %d after drain", sched.QueueLen())
+	}
+}
+
+func TestSCANSweepsBothDirections(t *testing.T) {
+	// Requests on both sides of the head: the elevator must serve the
+	// upward batch in ascending order, then the downward batch in
+	// descending order.
+	e := sim.NewEngine(1)
+	ram := NewRAMDisk(e, "ram", 1<<30, sim.Millisecond, 1e12)
+	sched := NewScheduler(e, ram, SCAN)
+	var served []int64
+	offsets := []int64{500e6, 100e6, 700e6, 300e6}
+	wg := e.NewWaitGroup()
+	wg.Add(len(offsets))
+	for _, off := range offsets {
+		off := off
+		e.Spawn("c", func(p *sim.Proc) {
+			if err := sched.Access(p, Request{Offset: off, Size: 4096}); err != nil {
+				t.Error(err)
+			}
+			served = append(served, off)
+			wg.Done()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Head starts at 0 sweeping upward: ascending order overall.
+	want := []int64{100e6, 300e6, 500e6, 700e6}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served order %v, want %v", served, want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package device
+
+// Validation tests: the device models against closed-form expectations,
+// so a refactor cannot silently bend the physics the experiments lean on.
+
+import (
+	"math"
+	"testing"
+
+	"bps/internal/sim"
+)
+
+// TestHDDStreamingRateMatchesOuterZone: a long sequential read at offset
+// 0 must deliver ≈ OuterRate once per-request overheads are amortized.
+func TestHDDStreamingRateMatchesOuterZone(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultHDD()
+	d := NewHDD(e, cfg)
+	const total = 1 << 30
+	const req = 8 << 20
+	e.Spawn("r", func(p *sim.Proc) {
+		for off := int64(0); off < total; off += req {
+			if err := d.Access(p, Request{Offset: off, Size: req}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(total) / e.Now().Seconds()
+	if math.Abs(rate-cfg.OuterRate)/cfg.OuterRate > 0.02 {
+		t.Fatalf("streaming rate %.1f MB/s, want ≈ %.1f MB/s", rate/1e6, cfg.OuterRate/1e6)
+	}
+}
+
+// TestHDDRandomIOPSMatchesSeekModel: random 4 KiB reads are bounded by
+// overhead + seek + expected half-rotation + transfer; the measured IOPS
+// must sit near the model's prediction.
+func TestHDDRandomIOPSMatchesSeekModel(t *testing.T) {
+	e := sim.NewEngine(9)
+	cfg := DefaultHDD()
+	d := NewHDD(e, cfg)
+	const n = 2000
+	rng := e.Rand()
+	offsets := make([]int64, n)
+	for i := range offsets {
+		offsets[i] = rng.Int63n(cfg.Capacity-4096) / 512 * 512
+	}
+	e.Spawn("r", func(p *sim.Proc) {
+		for _, off := range offsets {
+			if err := d.Access(p, Request{Offset: off, Size: 4096}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	iops := n / e.Now().Seconds()
+
+	// Model: overhead + E[seek] + half rotation + transfer. The seek
+	// curve's expected sqrt factor over uniform distances is E[sqrt(U)]
+	// with U the distance fraction; for uniform offsets the mean distance
+	// fraction is 1/3 and E[sqrt] ≈ 0.54, so use the curve at the mean.
+	rot := 60.0 / cfg.RPM / 2
+	seek := cfg.SettleTime.Seconds() +
+		0.54*(cfg.SeekMax-cfg.SettleTime).Seconds()
+	per := cfg.CommandOverhead.Seconds() + seek + rot + 4096/cfg.OuterRate
+	want := 1 / per
+	if iops < want*0.7 || iops > want*1.3 {
+		t.Fatalf("random 4K IOPS = %.0f, model predicts ≈ %.0f", iops, want)
+	}
+	// Sanity: a 7200 RPM disk does on the order of 100 random IOPS.
+	if iops < 50 || iops > 250 {
+		t.Fatalf("random 4K IOPS = %.0f, outside any plausible HDD range", iops)
+	}
+}
+
+// TestSSDSequentialRateMatchesChannels: large reads must deliver ≈
+// Channels × ChannelRate.
+func TestSSDSequentialRateMatchesChannels(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultSSD()
+	d := NewSSD(e, cfg)
+	const total = 4 << 30
+	const req = 8 << 20
+	e.Spawn("r", func(p *sim.Proc) {
+		for off := int64(0); off < total; off += req {
+			if err := d.Access(p, Request{Offset: off, Size: req}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(total) / e.Now().Seconds()
+	want := float64(cfg.Channels) * cfg.ChannelRate
+	if math.Abs(rate-want)/want > 0.05 {
+		t.Fatalf("sequential rate %.0f MB/s, want ≈ %.0f MB/s", rate/1e6, want/1e6)
+	}
+}
+
+// TestSSDRandom4KLatencyMatchesModel: QD1 random 4 KiB reads cost
+// overhead + read latency + one-channel transfer.
+func TestSSDRandom4KLatencyMatchesModel(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultSSD()
+	d := NewSSD(e, cfg)
+	const n = 1000
+	e.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			off := int64(i*7919%100000) * 4096
+			if err := d.Access(p, Request{Offset: off, Size: 4096}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := e.Now().Seconds() / n
+	want := (cfg.CommandOverhead + cfg.ReadLatency).Seconds() + 4096/cfg.ChannelRate
+	if math.Abs(per-want)/want > 0.01 {
+		t.Fatalf("per-op %.1f µs, model %.1f µs", per*1e6, want*1e6)
+	}
+}

@@ -1,0 +1,167 @@
+// Package experiments reproduces the BPS paper's evaluation (§IV): four
+// experiment sets (paper Table 2) sweeping storage devices, I/O request
+// sizes, I/O concurrency, and additional data movement, each yielding the
+// per-metric normalized correlation coefficients of Figures 4–6, 9, 11,
+// and 12 and the detail series of Figures 7, 8, and 10.
+//
+// Data sizes scale with Params.Scale relative to the paper's testbed so
+// the same code serves fast tests (tiny scale), benchmarks (moderate
+// scale), and full paper-sized runs (scale 1).
+package experiments
+
+import (
+	"fmt"
+
+	"bps/internal/core"
+	"bps/internal/stats"
+)
+
+// Params controls experiment scale and reproducibility.
+type Params struct {
+	// Scale multiplies the paper's data sizes (1.0 = the paper's 16–64 GB
+	// runs). The sweep shapes are scale-invariant as long as per-run I/O
+	// remains much larger than one record.
+	Scale float64
+
+	// Seed is the base RNG seed; each run derives its own from it.
+	Seed int64
+}
+
+// Default returns the parameters used by the benchmark harness: 1/64 of
+// the paper's data volume, which preserves every shape while keeping a
+// full reproduction in the tens of seconds.
+func Default() Params { return Params{Scale: 1.0 / 64, Seed: 42} }
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1.0 / 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// scaled returns bytes scaled by p.Scale, rounded up to a multiple of
+// unit and at least one unit.
+func (p Params) scaled(bytes int64, unit int64) int64 {
+	v := int64(p.Scale * float64(bytes))
+	if v < unit {
+		return unit
+	}
+	return (v + unit - 1) / unit * unit
+}
+
+// Point is one run of a sweep: a labelled set of measurements.
+type Point struct {
+	Label   string
+	Metrics core.Metrics
+	Errors  int
+}
+
+// Figure is the reproduction of one paper figure.
+type Figure struct {
+	ID    string // e.g. "fig4"
+	Title string
+	Notes string
+
+	// XLabel names the sweep variable.
+	XLabel string
+
+	// Points holds the per-run measurements in sweep order.
+	Points []Point
+
+	// CC holds the normalized correlation coefficients (CC figures:
+	// 4, 5, 6, 9, 11, 12); nil for detail figures.
+	CC *stats.CCTable
+
+	// DetailKind is the metric a detail figure (7, 8, 10) plots against
+	// application execution time.
+	DetailKind core.MetricKind
+	IsDetail   bool
+}
+
+// ccTable computes the figure's CC table from its points.
+func ccTable(label string, points []Point) *stats.CCTable {
+	runs := make([]core.Metrics, len(points))
+	for i, pt := range points {
+		runs[i] = pt.Metrics
+	}
+	t := stats.NewCCTable(label, runs)
+	return &t
+}
+
+// FigureIDs lists every reproducible figure in paper order.
+var FigureIDs = []string{
+	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+}
+
+// Suite runs experiments with memoized sweeps, so detail figures reuse
+// the runs of their CC figures (Fig. 7 reuses Fig. 5's sweep, etc.).
+type Suite struct {
+	params Params
+	memo   map[string][]Point
+}
+
+// NewSuite returns a suite with the given parameters.
+func NewSuite(p Params) *Suite {
+	return &Suite{params: p.withDefaults(), memo: make(map[string][]Point)}
+}
+
+// Params returns the suite's effective parameters.
+func (s *Suite) Params() Params { return s.params }
+
+// sweep memoizes a named sweep.
+func (s *Suite) sweep(key string, run func() ([]Point, error)) ([]Point, error) {
+	if pts, ok := s.memo[key]; ok {
+		return pts, nil
+	}
+	pts, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep %s: %w", key, err)
+	}
+	s.memo[key] = pts
+	return pts, nil
+}
+
+// Figure reproduces one figure by ID ("fig4" … "fig12").
+func (s *Suite) Figure(id string) (Figure, error) {
+	switch id {
+	case "fig4":
+		return s.fig4()
+	case "fig5":
+		return s.fig5()
+	case "fig6":
+		return s.fig6()
+	case "fig7":
+		return s.fig7()
+	case "fig8":
+		return s.fig8()
+	case "fig9":
+		return s.fig9()
+	case "fig10":
+		return s.fig10()
+	case "fig11":
+		return s.fig11()
+	case "fig12":
+		return s.fig12()
+	case "ext1", "ext2", "ext3":
+		return s.extension(id)
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v and extensions %v)",
+			id, FigureIDs, ExtensionIDs)
+	}
+}
+
+// All reproduces every figure in paper order.
+func (s *Suite) All() ([]Figure, error) {
+	figs := make([]Figure, 0, len(FigureIDs))
+	for _, id := range FigureIDs {
+		f, err := s.Figure(id)
+		if err != nil {
+			return figs, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bps/internal/core"
+)
+
+// Robustness summarizes how one figure's normalized CC values vary
+// across independent seeds — the reproduction-quality check that a
+// single lucky seed cannot fake. A conclusion like "BW has the wrong
+// direction in Fig. 12" only stands if the sign is stable across seeds.
+type Robustness struct {
+	FigureID string
+	Seeds    int
+
+	// Min, Max, Mean of the normalized CC per metric across seeds.
+	Min  map[core.MetricKind]float64
+	Max  map[core.MetricKind]float64
+	Mean map[core.MetricKind]float64
+
+	// SignStable reports whether the CC kept one sign across every seed.
+	SignStable map[core.MetricKind]bool
+}
+
+// RunRobustness reproduces figure id under nseeds different seeds (the
+// suite's own seed, then consecutive offsets) and aggregates the CC
+// values. Only CC figures are supported.
+func RunRobustness(p Params, id string, nseeds int) (Robustness, error) {
+	if nseeds < 2 {
+		return Robustness{}, fmt.Errorf("experiments: robustness needs ≥ 2 seeds, got %d", nseeds)
+	}
+	p = p.withDefaults()
+	r := Robustness{
+		FigureID:   id,
+		Seeds:      nseeds,
+		Min:        make(map[core.MetricKind]float64),
+		Max:        make(map[core.MetricKind]float64),
+		Mean:       make(map[core.MetricKind]float64),
+		SignStable: make(map[core.MetricKind]bool),
+	}
+	for _, k := range core.Kinds {
+		r.Min[k] = math.Inf(1)
+		r.Max[k] = math.Inf(-1)
+	}
+	for s := 0; s < nseeds; s++ {
+		params := p
+		params.Seed = p.Seed + int64(s)*1000
+		f, err := NewSuite(params).Figure(id)
+		if err != nil {
+			return r, err
+		}
+		if f.CC == nil {
+			return r, fmt.Errorf("experiments: %s is a detail figure; robustness needs a CC figure", id)
+		}
+		for _, k := range core.Kinds {
+			cc := f.CC.CC[k]
+			if math.IsNaN(cc) {
+				return r, fmt.Errorf("experiments: %s seed %d: CC(%v) is NaN", id, params.Seed, k)
+			}
+			if cc < r.Min[k] {
+				r.Min[k] = cc
+			}
+			if cc > r.Max[k] {
+				r.Max[k] = cc
+			}
+			r.Mean[k] += cc / float64(nseeds)
+		}
+	}
+	for _, k := range core.Kinds {
+		r.SignStable[k] = r.Min[k] > 0 == (r.Max[k] > 0) && r.Min[k] != 0
+	}
+	return r, nil
+}
+
+// String renders one line per metric.
+func (r Robustness) String() string {
+	out := fmt.Sprintf("%s over %d seeds:\n", r.FigureID, r.Seeds)
+	for _, k := range core.Kinds {
+		stability := "STABLE"
+		if !r.SignStable[k] {
+			stability = "sign flips"
+		}
+		out += fmt.Sprintf("  %-5s mean %+.2f  range [%+.2f, %+.2f]  %s\n",
+			k, r.Mean[k], r.Min[k], r.Max[k], stability)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bps/internal/core"
+	"bps/internal/sim"
+	"bps/internal/testbed"
+	"bps/internal/workload"
+)
+
+// Aliases keeping the experiment code close to the paper's vocabulary;
+// the actual models live in internal/testbed.
+const (
+	hdd = testbed.HDD
+	ssd = testbed.SSD
+)
+
+type storageKind = testbed.Media
+
+type clusterSpec = testbed.ClusterSpec
+
+func newLocalEnv(e *sim.Engine, k storageKind, nfiles int, fileSize int64) (*workload.LocalEnv, error) {
+	return testbed.NewLocalEnv(e, k, nfiles, fileSize)
+}
+
+func newSharedFileEnv(e *sim.Engine, spec clusterSpec, fileSize int64) (*workload.ClusterEnv, error) {
+	return testbed.NewSharedFileEnv(e, spec, fileSize)
+}
+
+func newPinnedFilesEnv(e *sim.Engine, spec clusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {
+	if spec.Clients > spec.Servers {
+		return nil, fmt.Errorf("experiments: pure-concurrency env needs a server per client (%d > %d)",
+			spec.Clients, spec.Servers)
+	}
+	return testbed.NewPinnedFilesEnv(e, spec, filePerProc)
+}
+
+// runPoint executes one workload run on a fresh engine and converts the
+// result into a sweep point.
+func runPoint(seed int64, label string, build func(e *sim.Engine) (workload.Env, workload.Runner, error)) (Point, error) {
+	e := sim.NewEngine(seed)
+	env, w, err := build(e)
+	if err != nil {
+		return Point{}, fmt.Errorf("run %s: %w", label, err)
+	}
+	res, err := w.Run(e, env)
+	if err != nil {
+		return Point{}, fmt.Errorf("run %s: %w", label, err)
+	}
+	e.Shutdown() // unwind server daemons so sweeps don't accumulate goroutines
+	return Point{
+		Label:   label,
+		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
+		Errors:  res.Errors,
+	}, nil
+}

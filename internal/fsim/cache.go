@@ -1,0 +1,64 @@
+package fsim
+
+import "container/list"
+
+// pageCache is an LRU set of device page numbers. It tracks presence only:
+// the simulator never stores data, just the timing consequences of hits
+// and misses.
+type pageCache struct {
+	capacity int64
+	lru      *list.List              // front = most recent; values are page numbers
+	index    map[int64]*list.Element // page number → node
+	hits     uint64
+	misses   uint64
+}
+
+func newPageCache(capacityPages int64) *pageCache {
+	if capacityPages < 1 {
+		capacityPages = 1
+	}
+	return &pageCache{
+		capacity: capacityPages,
+		lru:      list.New(),
+		index:    make(map[int64]*list.Element),
+	}
+}
+
+// lookup reports whether page is cached, updating recency and counters.
+func (c *pageCache) lookup(page int64) bool {
+	if el, ok := c.index[page]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// contains reports presence without touching recency or counters.
+func (c *pageCache) contains(page int64) bool {
+	_, ok := c.index[page]
+	return ok
+}
+
+// insert adds page (or refreshes it), evicting the least-recently-used
+// page when over capacity.
+func (c *pageCache) insert(page int64) {
+	if el, ok := c.index[page]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[page] = c.lru.PushFront(page)
+	for int64(c.lru.Len()) > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(int64))
+	}
+}
+
+// reset drops every page and zeroes nothing else: hit/miss counters are
+// cumulative across flushes, like kernel counters.
+func (c *pageCache) reset() {
+	c.lru.Init()
+	c.index = make(map[int64]*list.Element)
+}

@@ -1,0 +1,186 @@
+package middleware
+
+import (
+	"fmt"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// CollectiveConfig parameterizes two-phase collective I/O.
+type CollectiveConfig struct {
+	// Aggregators is the number of processes doing the file-access phase
+	// (ROMIO cb_nodes); default min(procs, 4).
+	Aggregators int
+
+	// AggBufSize is the aggregator staging-buffer size; each aggregator
+	// reads its file domain in pieces of this size (default 4 MiB).
+	AggBufSize int64
+
+	// ExchangeRate is the redistribution rate of the exchange phase in
+	// bytes/second (default 1 GB/s: memory plus interconnect scatter).
+	ExchangeRate float64
+
+	// ExchangeLatency is the fixed per-call cost of the exchange phase.
+	ExchangeLatency sim.Time
+}
+
+func (c CollectiveConfig) withDefaults(procs int) CollectiveConfig {
+	if c.Aggregators <= 0 {
+		c.Aggregators = 4
+	}
+	if c.Aggregators > procs {
+		c.Aggregators = procs
+	}
+	if c.AggBufSize <= 0 {
+		c.AggBufSize = 4 << 20
+	}
+	if c.ExchangeRate <= 0 {
+		c.ExchangeRate = 1e9
+	}
+	return c
+}
+
+// Collective implements ROMIO-style two-phase collective I/O over one
+// shared target: all participants synchronize, a few aggregators read
+// contiguous file domains covering every process's regions exactly once,
+// and the exchange phase scatters each process its own data. Compared
+// with independent data sieving, interleaved access patterns stop
+// re-reading the same extent once per process — the other classic
+// optimization the paper's reference [8] introduces alongside data
+// sieving.
+type Collective struct {
+	eng    *sim.Engine
+	target Target
+	procs  int
+	cfg    CollectiveConfig
+
+	round *collRound
+}
+
+// collRound is the state of one in-flight collective call.
+type collRound struct {
+	arrivals int
+	lo, hi   int64 // covering extent across all participants
+	any      bool
+	done     *sim.Future
+	err      error
+}
+
+// NewCollective builds a collective context for procs participants over
+// target. Every participant must call ReadAll once per collective
+// operation (MPI collective semantics).
+func NewCollective(e *sim.Engine, target Target, procs int, cfg CollectiveConfig) *Collective {
+	if procs < 1 {
+		panic("middleware: collective needs at least one process")
+	}
+	return &Collective{
+		eng:    e,
+		target: target,
+		procs:  procs,
+		cfg:    cfg.withDefaults(procs),
+	}
+}
+
+// ReadAll is one process's part of a collective read. regions may be
+// empty (the process participates without requesting data). The call
+// returns when the process has received its data; the trace record
+// carries the process's own required size over the full collective
+// duration it observed.
+func (c *Collective) ReadAll(p *sim.Proc, col *trace.Collector, regions []Region) error {
+	var required int64
+	if len(regions) > 0 {
+		var err error
+		required, err = validateRegions(regions)
+		if err != nil {
+			return err
+		}
+	}
+	start := p.Now()
+
+	r := c.round
+	if r == nil {
+		r = &collRound{done: c.eng.NewFuture()}
+		c.round = r
+	}
+	r.arrivals++
+	if len(regions) > 0 {
+		lo, hi := regions[0].Off, regions[len(regions)-1].End()
+		if !r.any || lo < r.lo {
+			r.lo = lo
+		}
+		if !r.any || hi > r.hi {
+			r.hi = hi
+		}
+		r.any = true
+	}
+
+	if r.arrivals < c.procs {
+		r.done.Wait(p) // barrier: wait for the last participant
+	} else {
+		c.round = nil // the next call opens a fresh round
+		if r.any {
+			r.err = c.aggregate(p, r.lo, r.hi)
+		}
+		r.done.Complete()
+	}
+
+	// Exchange phase: each process receives its own data.
+	if required > 0 && r.err == nil {
+		p.Sleep(c.cfg.ExchangeLatency + sim.TransferTime(required, c.cfg.ExchangeRate))
+	}
+	col.Record(trace.BlocksOf(required), start, p.Now())
+	return r.err
+}
+
+// aggregate performs the file-access phase: the covering extent is split
+// into contiguous domains, one per aggregator, read in parallel through
+// staging buffers.
+func (c *Collective) aggregate(p *sim.Proc, lo, hi int64) error {
+	k := c.cfg.Aggregators
+	extent := hi - lo
+	domain := (extent + int64(k) - 1) / int64(k)
+	if domain <= 0 {
+		return nil
+	}
+	futures := make([]*sim.Future, 0, k)
+	errs := make([]error, k)
+	for a := 0; a < k; a++ {
+		dlo := lo + int64(a)*domain
+		if dlo >= hi {
+			break
+		}
+		dhi := dlo + domain
+		if dhi > hi {
+			dhi = hi
+		}
+		a := a
+		fut := c.eng.NewFuture()
+		futures = append(futures, fut)
+		c.eng.Spawn(fmt.Sprintf("coll.agg%d", a), func(agg *sim.Proc) {
+			errs[a] = c.readDomain(agg, dlo, dhi)
+			fut.Complete()
+		})
+	}
+	sim.WaitAll(p, futures...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readDomain reads [lo, hi) in staging-buffer pieces.
+func (c *Collective) readDomain(p *sim.Proc, lo, hi int64) error {
+	for off := lo; off < hi; off += c.cfg.AggBufSize {
+		n := c.cfg.AggBufSize
+		if off+n > hi {
+			n = hi - off
+		}
+		if err := c.target.ReadAt(p, off, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package middleware simulates the I/O layers the application talks to —
+// a POSIX interface and an MPI-IO interface with ROMIO-style data
+// sieving, plus an optional readahead prefetcher. This is the layer where
+// the BPS paper captures its trace records (§III.B step 1): every
+// application access is recorded with the *application-required* size,
+// regardless of how much data the layers below actually move.
+package middleware
+
+import (
+	"fmt"
+
+	"bps/internal/fsim"
+	"bps/internal/pfs"
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// Target is an open file as seen from the middleware: local or parallel.
+type Target interface {
+	// ReadAt / WriteAt block the calling process for the simulated
+	// duration of the transfer.
+	ReadAt(p *sim.Proc, off, size int64) error
+	WriteAt(p *sim.Proc, off, size int64) error
+	Size() int64
+}
+
+// LocalTarget adapts a local (fsim) file.
+type LocalTarget struct{ File *fsim.File }
+
+// ReadAt implements Target.
+func (t LocalTarget) ReadAt(p *sim.Proc, off, size int64) error {
+	return t.File.ReadAt(p, off, size)
+}
+
+// WriteAt implements Target.
+func (t LocalTarget) WriteAt(p *sim.Proc, off, size int64) error {
+	return t.File.WriteAt(p, off, size)
+}
+
+// Size implements Target.
+func (t LocalTarget) Size() int64 { return t.File.Size() }
+
+// PFSTarget adapts a parallel (pfs) file accessed through a client.
+type PFSTarget struct {
+	Client *pfs.Client
+	File   *pfs.File
+}
+
+// ReadAt implements Target.
+func (t PFSTarget) ReadAt(p *sim.Proc, off, size int64) error {
+	return t.Client.Read(p, t.File, off, size)
+}
+
+// WriteAt implements Target.
+func (t PFSTarget) WriteAt(p *sim.Proc, off, size int64) error {
+	return t.Client.Write(p, t.File, off, size)
+}
+
+// Size implements Target.
+func (t PFSTarget) Size() int64 { return t.File.Size() }
+
+// POSIX is the plain interface: one application call maps to one
+// file-system access and one trace record.
+type POSIX struct {
+	target Target
+	col    *trace.Collector
+}
+
+// NewPOSIX wraps a target with trace capture for one process.
+func NewPOSIX(target Target, col *trace.Collector) *POSIX {
+	return &POSIX{target: target, col: col}
+}
+
+// Read performs and records one application read.
+func (io *POSIX) Read(p *sim.Proc, off, size int64) error {
+	start := p.Now()
+	err := io.target.ReadAt(p, off, size)
+	io.col.Record(trace.BlocksOf(size), start, p.Now())
+	return err
+}
+
+// Write performs and records one application write.
+func (io *POSIX) Write(p *sim.Proc, off, size int64) error {
+	start := p.Now()
+	err := io.target.WriteAt(p, off, size)
+	io.col.Record(trace.BlocksOf(size), start, p.Now())
+	return err
+}
+
+// Region is one piece of a noncontiguous MPI-IO access.
+type Region struct {
+	Off  int64
+	Size int64
+}
+
+// End returns the first offset past the region.
+func (r Region) End() int64 { return r.Off + r.Size }
+
+// Regions builds count regions of the given size separated by spacing
+// bytes of hole, starting at base — HPIO's access-pattern parameters.
+func Regions(base int64, count int, size, spacing int64) []Region {
+	out := make([]Region, count)
+	off := base
+	for i := range out {
+		out[i] = Region{Off: off, Size: size}
+		off += size + spacing
+	}
+	return out
+}
+
+// MPIIOConfig parameterizes the MPI-IO layer.
+type MPIIOConfig struct {
+	// DataSieving enables ROMIO-style data sieving for noncontiguous
+	// reads: instead of one small access per region, the layer reads the
+	// covering extent — holes included — through a sieve buffer.
+	DataSieving bool
+
+	// SieveBufSize is the sieve buffer size (ROMIO default 4 MiB).
+	SieveBufSize int64
+}
+
+func (c MPIIOConfig) withDefaults() MPIIOConfig {
+	if c.SieveBufSize <= 0 {
+		c.SieveBufSize = 4 << 20
+	}
+	return c
+}
+
+// MPIIO is the MPI-IO interface for one process. A noncontiguous call is
+// recorded as a single application access whose size is the sum of the
+// region sizes — the data the application required — even though with
+// sieving the layers below move the whole covering extent.
+type MPIIO struct {
+	target Target
+	col    *trace.Collector
+	cfg    MPIIOConfig
+}
+
+// NewMPIIO wraps a target with MPI-IO semantics and trace capture.
+func NewMPIIO(target Target, col *trace.Collector, cfg MPIIOConfig) *MPIIO {
+	return &MPIIO{target: target, col: col, cfg: cfg.withDefaults()}
+}
+
+// Read performs a contiguous MPI-IO read (degenerate single region).
+func (m *MPIIO) Read(p *sim.Proc, off, size int64) error {
+	return m.ReadRegions(p, []Region{{Off: off, Size: size}})
+}
+
+// Write performs a contiguous MPI-IO write.
+func (m *MPIIO) Write(p *sim.Proc, off, size int64) error {
+	if size <= 0 || off < 0 {
+		return fmt.Errorf("middleware: write [%d,%d) invalid", off, off+size)
+	}
+	start := p.Now()
+	err := m.target.WriteAt(p, off, size)
+	m.col.Record(trace.BlocksOf(size), start, p.Now())
+	return err
+}
+
+// ReadRegions performs one noncontiguous read call over the given
+// regions, which must be sorted by offset and non-overlapping.
+func (m *MPIIO) ReadRegions(p *sim.Proc, regions []Region) error {
+	required, err := validateRegions(regions)
+	if err != nil {
+		return err
+	}
+	start := p.Now()
+	if m.cfg.DataSieving && len(regions) > 1 {
+		err = m.sieveRead(p, regions)
+	} else {
+		err = m.directRead(p, regions)
+	}
+	m.col.Record(trace.BlocksOf(required), start, p.Now())
+	return err
+}
+
+// directRead issues one underlying access per region.
+func (m *MPIIO) directRead(p *sim.Proc, regions []Region) error {
+	for _, r := range regions {
+		if err := m.target.ReadAt(p, r.Off, r.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sieveRead reads the covering extent [first.Off, last.End) in sieve-
+// buffer-sized pieces; the holes between regions are moved through the
+// I/O system although the application never asked for them.
+func (m *MPIIO) sieveRead(p *sim.Proc, regions []Region) error {
+	lo := regions[0].Off
+	hi := regions[len(regions)-1].End()
+	for off := lo; off < hi; off += m.cfg.SieveBufSize {
+		n := m.cfg.SieveBufSize
+		if off+n > hi {
+			n = hi - off
+		}
+		if err := m.target.ReadAt(p, off, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateRegions checks ordering/overlap and returns the required bytes.
+func validateRegions(regions []Region) (int64, error) {
+	if len(regions) == 0 {
+		return 0, fmt.Errorf("middleware: empty region list")
+	}
+	var required int64
+	prevEnd := int64(-1)
+	for i, r := range regions {
+		if r.Size <= 0 || r.Off < 0 {
+			return 0, fmt.Errorf("middleware: region %d [%d,%d) invalid", i, r.Off, r.End())
+		}
+		if r.Off < prevEnd {
+			return 0, fmt.Errorf("middleware: region %d overlaps or is unsorted", i)
+		}
+		prevEnd = r.End()
+		required += r.Size
+	}
+	return required, nil
+}

@@ -1,0 +1,154 @@
+// Package netsim models a switched cluster interconnect (the BPS paper's
+// Gigabit Ethernet) at the level that matters for I/O experiments: each
+// node has a full-duplex NIC whose transmit and receive sides serialize
+// traffic at line rate, and the switch adds fixed latency. Contention at a
+// busy I/O server therefore shows up as queueing on that server's receive
+// and transmit NIC resources.
+package netsim
+
+import (
+	"bps/internal/sim"
+)
+
+// Config parameterizes a network fabric.
+type Config struct {
+	// Bandwidth is the per-NIC line rate in bytes/second.
+	// Gigabit Ethernet ≈ 125e6.
+	Bandwidth float64
+
+	// Latency is the one-way propagation plus switching delay.
+	Latency sim.Time
+
+	// MTU splits large transfers into frames for pipelining granularity;
+	// a transfer of n bytes pays per-frame overhead FrameOverhead on top
+	// of serialization. Default 9000 (jumbo frames), overhead 1 µs.
+	MTU           int64
+	FrameOverhead sim.Time
+
+	// BackplaneRate, when positive, models a finite switch backplane:
+	// every transfer additionally serializes through a single shared
+	// resource at this rate (bytes/second). Under high aggregate load the
+	// backplane queues, which is how concurrent streams perturb each
+	// other's response times even when they touch disjoint servers.
+	BackplaneRate float64
+}
+
+// DefaultGigabit returns a Gigabit Ethernet fabric like the paper's
+// testbed interconnect.
+func DefaultGigabit() Config {
+	return Config{
+		Bandwidth:     125e6,
+		Latency:       50 * sim.Microsecond,
+		MTU:           9000,
+		FrameOverhead: sim.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 125e6
+	}
+	if c.MTU <= 0 {
+		c.MTU = 9000
+	}
+	return c
+}
+
+// Fabric is a switched network connecting NICs.
+type Fabric struct {
+	eng       *sim.Engine
+	cfg       Config
+	backplane *sim.Resource // nil when BackplaneRate is 0
+}
+
+// NewFabric constructs a fabric on the engine.
+func NewFabric(e *sim.Engine, cfg Config) *Fabric {
+	f := &Fabric{eng: e, cfg: cfg.withDefaults()}
+	if f.cfg.BackplaneRate > 0 {
+		f.backplane = e.NewResource("switch.backplane", 1)
+	}
+	return f
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NIC is one node's network interface: independent transmit and receive
+// resources, each serializing at line rate.
+type NIC struct {
+	fabric *Fabric
+	name   string
+	tx     *sim.Resource
+	rx     *sim.Resource
+
+	sent, received int64 // bytes
+}
+
+// NewNIC attaches a new NIC to the fabric.
+func (f *Fabric) NewNIC(name string) *NIC {
+	return &NIC{
+		fabric: f,
+		name:   name,
+		tx:     f.eng.NewResource(name+".tx", 1),
+		rx:     f.eng.NewResource(name+".rx", 1),
+	}
+}
+
+// Name returns the NIC name.
+func (n *NIC) Name() string { return n.name }
+
+// Sent returns total bytes transmitted.
+func (n *NIC) Sent() int64 { return n.sent }
+
+// Received returns total bytes received.
+func (n *NIC) Received() int64 { return n.received }
+
+// TxBusy returns accumulated transmit-side busy time.
+func (n *NIC) TxBusy() sim.Time { return n.tx.BusyTime() }
+
+// RxBusy returns accumulated receive-side busy time.
+func (n *NIC) RxBusy() sim.Time { return n.rx.BusyTime() }
+
+// serialization returns the time to clock size bytes through one NIC side,
+// including per-frame overhead.
+func (f *Fabric) serialization(size int64) sim.Time {
+	frames := (size + f.cfg.MTU - 1) / f.cfg.MTU
+	if frames < 1 {
+		frames = 1
+	}
+	return sim.TransferTime(size, f.cfg.Bandwidth) + sim.Time(frames)*f.cfg.FrameOverhead
+}
+
+// Transfer moves size bytes from NIC src to NIC dst, blocking the calling
+// process until the last byte has been received. The model is
+// store-and-forward through the switch: the sender's tx side serializes
+// the message, the switch adds latency, and the receiver's rx side clocks
+// it in; both NIC sides are contended resources.
+func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
+	if size <= 0 {
+		return
+	}
+	if src == dst {
+		// Loopback: no NIC involvement, just a memory-speed hop.
+		p.Sleep(f.cfg.Latency / 10)
+		return
+	}
+	ser := f.serialization(size)
+
+	src.tx.Acquire(p)
+	p.Sleep(ser)
+	src.tx.Release()
+	src.sent += size
+
+	if f.backplane != nil {
+		f.backplane.Acquire(p)
+		p.Sleep(sim.TransferTime(size, f.cfg.BackplaneRate))
+		f.backplane.Release()
+	}
+	p.Sleep(f.cfg.Latency)
+
+	dst.rx.Acquire(p)
+	p.Sleep(ser)
+	dst.rx.Release()
+	dst.received += size
+}

@@ -1,0 +1,140 @@
+package pfs
+
+import (
+	"fmt"
+
+	"bps/internal/netsim"
+	"bps/internal/sim"
+)
+
+// Client is a compute-node-side PFS client with its own NIC.
+type Client struct {
+	cluster *Cluster
+	nic     *netsim.NIC
+}
+
+// NewClient attaches a client (compute node) to the cluster fabric.
+func (c *Cluster) NewClient(name string) *Client {
+	return &Client{cluster: c, nic: c.fabric.NewNIC(name)}
+}
+
+// NIC returns the client's network interface.
+func (cl *Client) NIC() *netsim.NIC { return cl.nic }
+
+// Open looks a file up through the metadata server, paying the RPC
+// round trip and queueing behind other metadata operations — the
+// runtime equivalent of Cluster.Open.
+func (cl *Client) Open(p *sim.Proc, name string) (*File, error) {
+	c := cl.cluster
+	c.fabric.Transfer(p, cl.nic, c.mds.nic, c.cfg.RequestMsgBytes)
+	c.mds.svc.Acquire(p)
+	p.Sleep(c.cfg.MetadataService)
+	c.mds.ops++
+	c.mds.svc.Release()
+	f, err := c.Open(name)
+	// The reply travels back whether the lookup succeeded or not.
+	c.fabric.Transfer(p, c.mds.nic, cl.nic, c.cfg.RequestMsgBytes)
+	return f, err
+}
+
+// job is one RPC shipped to a server: a list of contiguous local pieces to
+// read or write on behalf of one client call.
+type job struct {
+	client *Client
+	file   *File
+	pieces []chunk
+	write  bool
+	bytes  int64
+	done   *sim.Future
+	err    error
+}
+
+// Read reads size bytes at global offset off, blocking the calling
+// process until every involved server has replied.
+func (cl *Client) Read(p *sim.Proc, f *File, off, size int64) error {
+	return cl.access(p, f, off, size, false)
+}
+
+// Write writes size bytes at global offset off.
+func (cl *Client) Write(p *sim.Proc, f *File, off, size int64) error {
+	return cl.access(p, f, off, size, true)
+}
+
+func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) error {
+	if size <= 0 {
+		return fmt.Errorf("pfs: access size %d must be positive", size)
+	}
+	if off < 0 || off+size > f.size {
+		return fmt.Errorf("pfs: access [%d,%d) out of bounds (file size %d)", off, off+size, f.size)
+	}
+	chunks := f.chunksFor(off, size)
+
+	// Group chunks by server position, preserving per-server order: one
+	// RPC per involved server, as PVFS aggregates list I/O.
+	perServer := make(map[int]*job)
+	var jobs []*job
+	for _, ch := range chunks {
+		j, ok := perServer[ch.pos]
+		if !ok {
+			j = &job{
+				client: cl,
+				file:   f,
+				write:  write,
+				done:   cl.cluster.eng.NewFuture(),
+			}
+			perServer[ch.pos] = j
+			jobs = append(jobs, j)
+		}
+		j.pieces = append(j.pieces, ch)
+		j.bytes += ch.size
+	}
+
+	fabric := cl.cluster.fabric
+	for _, j := range jobs {
+		srv := cl.cluster.servers[f.layout.Servers[j.pieces[0].pos]]
+		// Ship the request message. For writes the payload travels with
+		// the request; for reads it comes back in the reply.
+		msg := cl.cluster.cfg.RequestMsgBytes
+		if write {
+			msg += j.bytes
+		}
+		fabric.Transfer(p, cl.nic, srv.nic, msg)
+		srv.queue.Put(j)
+	}
+	var firstErr error
+	for _, j := range jobs {
+		j.done.Wait(p)
+		if j.err != nil && firstErr == nil {
+			firstErr = j.err
+		}
+	}
+	return firstErr
+}
+
+// worker is a server request-handler process: it drains the queue, does
+// the local I/O, and ships read replies back to the client.
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		j := s.queue.Get(p).(*job)
+		for _, piece := range j.pieces {
+			lf := j.file.local[piece.pos]
+			var err error
+			if j.write {
+				err = lf.WriteAt(p, piece.localOff, piece.size)
+			} else {
+				err = lf.ReadAt(p, piece.localOff, piece.size)
+			}
+			if err != nil && j.err == nil {
+				j.err = err
+			}
+		}
+		if !j.write && j.err == nil {
+			// Reply with the data.
+			j.file.cluster.fabric.Transfer(p, s.nic, j.client.nic, j.bytes+j.file.cluster.cfg.RequestMsgBytes)
+		} else {
+			// Ack only.
+			j.file.cluster.fabric.Transfer(p, s.nic, j.client.nic, j.file.cluster.cfg.RequestMsgBytes)
+		}
+		j.done.Complete()
+	}
+}

@@ -1,0 +1,303 @@
+// Package pfs simulates a PVFS-style parallel file system: files are
+// striped across I/O servers, each server owning a local file system on
+// its own device and a NIC. Clients split requests into per-server chunk
+// lists, ship them as RPCs over the simulated fabric, and servers service
+// them concurrently — the source of the I/O parallelism that the BPS
+// paper's concurrency experiments (Figs. 9–11) exercise.
+package pfs
+
+import (
+	"fmt"
+
+	"bps/internal/device"
+	"bps/internal/fsim"
+	"bps/internal/netsim"
+	"bps/internal/sim"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// DefaultStripeSize is used by layouts that do not override it
+	// (PVFS2's default is 64 KiB).
+	DefaultStripeSize int64
+
+	// ServerWorkers is the number of concurrent request handlers per
+	// server; >1 lets a server overlap one job's network reply with the
+	// next job's disk read.
+	ServerWorkers int
+
+	// RequestMsgBytes is the on-wire size of one RPC request message.
+	RequestMsgBytes int64
+
+	// ServerFS configures each server's local file system (cache size,
+	// readahead, ...). The Name field is overridden per server.
+	ServerFS fsim.Config
+
+	// MetadataService is the metadata server's per-operation service
+	// time (lookup/open). Default 200 µs; metadata RPCs also pay the
+	// fabric's round-trip cost and queue under load.
+	MetadataService sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultStripeSize <= 0 {
+		c.DefaultStripeSize = 64 << 10
+	}
+	if c.ServerWorkers <= 0 {
+		c.ServerWorkers = 2
+	}
+	if c.RequestMsgBytes <= 0 {
+		c.RequestMsgBytes = 256
+	}
+	if c.MetadataService <= 0 {
+		c.MetadataService = 200 * sim.Microsecond
+	}
+	return c
+}
+
+// Cluster is a set of I/O servers on a shared fabric, plus a metadata
+// server handling lookups.
+type Cluster struct {
+	eng     *sim.Engine
+	fabric  *netsim.Fabric
+	cfg     Config
+	servers []*Server
+	files   map[string]*File
+	mds     *metadataServer
+}
+
+// metadataServer services lookup/open RPCs, one at a time.
+type metadataServer struct {
+	nic *netsim.NIC
+	svc *sim.Resource
+	ops uint64
+}
+
+// Server is one I/O server: NIC + local file system + request queue
+// drained by worker processes.
+type Server struct {
+	id    int
+	nic   *netsim.NIC
+	fs    *fsim.FileSystem
+	queue *sim.Queue
+}
+
+// ID returns the server's index within the cluster.
+func (s *Server) ID() int { return s.id }
+
+// FS exposes the server's local file system (for stats and cache flush).
+func (s *Server) FS() *fsim.FileSystem { return s.fs }
+
+// NewCluster builds a cluster with one server per device, starting
+// ServerWorkers handler processes per server.
+func NewCluster(e *sim.Engine, fabric *netsim.Fabric, cfg Config, devices []device.Device) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		eng:    e,
+		fabric: fabric,
+		cfg:    cfg,
+		files:  make(map[string]*File),
+		mds: &metadataServer{
+			nic: fabric.NewNIC("mds"),
+			svc: e.NewResource("mds.svc", 1),
+		},
+	}
+	for i, dev := range devices {
+		fscfg := cfg.ServerFS
+		fscfg.Name = fmt.Sprintf("ios%d.fs", i)
+		srv := &Server{
+			id:    i,
+			nic:   fabric.NewNIC(fmt.Sprintf("ios%d", i)),
+			fs:    fsim.New(e, dev, fscfg),
+			queue: e.NewQueue(),
+		}
+		c.servers = append(c.servers, srv)
+		for w := 0; w < cfg.ServerWorkers; w++ {
+			e.SpawnDaemon(fmt.Sprintf("ios%d.worker%d", i, w), srv.worker)
+		}
+	}
+	return c
+}
+
+// Servers returns the cluster's servers.
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// NumServers returns the number of I/O servers.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// Moved returns total bytes moved through all server devices — the
+// file-system-level data volume that the bandwidth metric sees.
+func (c *Cluster) Moved() int64 {
+	var m int64
+	for _, s := range c.servers {
+		m += s.fs.Moved()
+	}
+	return m
+}
+
+// FlushCaches drops every server's page cache (pre-run flush).
+func (c *Cluster) FlushCaches() {
+	for _, s := range c.servers {
+		s.fs.FlushCache()
+	}
+}
+
+// Layout describes a file's striping, like PVFS2 file-distribution
+// attributes. Servers lists cluster server IDs in round-robin order; a
+// single-element list pins the whole file to one server (the paper's
+// "pure" concurrency setup).
+type Layout struct {
+	StripeSize int64
+	Servers    []int
+}
+
+// DefaultLayout stripes over all servers with the default stripe size.
+func (c *Cluster) DefaultLayout() Layout {
+	ids := make([]int, len(c.servers))
+	for i := range ids {
+		ids[i] = i
+	}
+	return Layout{StripeSize: c.cfg.DefaultStripeSize, Servers: ids}
+}
+
+// PinnedLayout places the whole file on a single server.
+func (c *Cluster) PinnedLayout(server int) Layout {
+	return Layout{StripeSize: c.cfg.DefaultStripeSize, Servers: []int{server}}
+}
+
+func (c *Cluster) validateLayout(l Layout) (Layout, error) {
+	if l.StripeSize <= 0 {
+		l.StripeSize = c.cfg.DefaultStripeSize
+	}
+	if len(l.Servers) == 0 {
+		return l, fmt.Errorf("pfs: layout has no servers")
+	}
+	for _, id := range l.Servers {
+		if id < 0 || id >= len(c.servers) {
+			return l, fmt.Errorf("pfs: layout references unknown server %d", id)
+		}
+	}
+	return l, nil
+}
+
+// File is a striped file.
+type File struct {
+	cluster *Cluster
+	name    string
+	size    int64
+	layout  Layout
+	// local[i] is the backing file on layout.Servers[i]'s file system.
+	local []*fsim.File
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the logical file size.
+func (f *File) Size() int64 { return f.size }
+
+// Layout returns the file's striping attributes.
+func (f *File) Layout() Layout { return f.layout }
+
+// Create allocates a striped file across the layout's servers.
+func (c *Cluster) Create(name string, size int64, layout Layout) (*File, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("pfs: create %q: size %d must be positive", name, size)
+	}
+	if _, ok := c.files[name]; ok {
+		return nil, fmt.Errorf("pfs: create %q: already exists", name)
+	}
+	layout, err := c.validateLayout(layout)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: create %q: %w", name, err)
+	}
+	f := &File{cluster: c, name: name, size: size, layout: layout}
+	for pos := range layout.Servers {
+		localSize := localSizeFor(size, layout.StripeSize, len(layout.Servers), pos)
+		if localSize == 0 {
+			// Still create a minimal backing file so the slice aligns.
+			localSize = 1
+		}
+		srv := c.servers[layout.Servers[pos]]
+		lf, err := srv.fs.Create(name, localSize)
+		if err != nil {
+			return nil, fmt.Errorf("pfs: create %q on server %d: %w", name, srv.id, err)
+		}
+		f.local = append(f.local, lf)
+	}
+	c.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file without consuming simulated time
+// (setup-phase lookup). For a runtime open that pays the metadata RPC,
+// use Client.Open.
+func (c *Cluster) Open(name string) (*File, error) {
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfs: open %q: no such file", name)
+	}
+	return f, nil
+}
+
+// MetadataOps returns the number of metadata RPCs serviced.
+func (c *Cluster) MetadataOps() uint64 { return c.mds.ops }
+
+// localSizeFor computes the number of bytes of an size-byte file that land
+// on the server at round-robin position pos of n servers.
+func localSizeFor(size, stripe int64, n int, pos int) int64 {
+	fullStripes := size / stripe
+	tail := size % stripe
+	k := int64(pos)
+	var local int64
+	if fullStripes > k {
+		local = ((fullStripes - k - 1) / int64(n)) * stripe
+		local += stripe
+	}
+	// The partial tail stripe has global index fullStripes and belongs to
+	// position fullStripes % n.
+	if tail > 0 && fullStripes%int64(n) == k {
+		local += tail
+	}
+	return local
+}
+
+// chunk is one contiguous piece of a request on a single server.
+type chunk struct {
+	pos      int   // position within layout.Servers
+	localOff int64 // offset in the server-local file
+	size     int64
+}
+
+// chunksFor splits a global byte range into per-server chunks in global
+// offset order.
+func (f *File) chunksFor(off, size int64) []chunk {
+	ss := f.layout.StripeSize
+	n := int64(len(f.layout.Servers))
+	var out []chunk
+	for size > 0 {
+		s := off / ss
+		within := off % ss
+		run := ss - within
+		if run > size {
+			run = size
+		}
+		pos := int(s % n)
+		localOff := (s/n)*ss + within
+		// Merge with the previous chunk when contiguous on the same server
+		// (always the case for n == 1).
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.pos == pos && last.localOff+last.size == localOff {
+				last.size += run
+				off += run
+				size -= run
+				continue
+			}
+		}
+		out = append(out, chunk{pos: pos, localOff: localOff, size: run})
+		off += run
+		size -= run
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"bps/internal/core"
+	"bps/internal/experiments"
+)
+
+// WriteCCBars renders a CC figure the way the paper draws it: one
+// horizontal bar per metric on a −1 … +1 axis, positive (expected
+// direction) to the right, negative (misleading) to the left.
+//
+//	IOPS  ──────────────────┤####################  +0.92
+//	BW    #########─────────┤                      -0.41
+func WriteCCBars(w io.Writer, f experiments.Figure, width int) {
+	if f.CC == nil {
+		return
+	}
+	if width <= 0 {
+		width = 24
+	}
+	fmt.Fprintf(w, "  CC bars (%s):\n", f.ID)
+	axis := strings.Repeat(" ", width)
+	fmt.Fprintf(w, "        -1 %s 0 %s +1\n", strings.ReplaceAll(axis, " ", "─"), strings.ReplaceAll(axis, " ", "─"))
+	for _, k := range core.Kinds {
+		cc := f.CC.CC[k]
+		fmt.Fprintf(w, "  %-5s %s %+.2f\n", k, ccBar(cc, width), cc)
+	}
+}
+
+// ccBar builds one bar: width cells on each side of the center axis.
+func ccBar(cc float64, width int) string {
+	if math.IsNaN(cc) {
+		return strings.Repeat(" ", width) + "│" + strings.Repeat(" ", width) + "  NaN"
+	}
+	clamped := cc
+	if clamped > 1 {
+		clamped = 1
+	}
+	if clamped < -1 {
+		clamped = -1
+	}
+	n := int(math.Abs(clamped)*float64(width) + 0.5)
+	left := strings.Repeat(" ", width)
+	right := strings.Repeat(" ", width)
+	if clamped >= 0 {
+		right = strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+	} else {
+		left = strings.Repeat(" ", width-n) + strings.Repeat("#", n)
+	}
+	return " " + left + "│" + right
+}

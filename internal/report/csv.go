@@ -1,0 +1,61 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bps/internal/core"
+	"bps/internal/experiments"
+)
+
+// figureCSVHeader is the per-run row schema of WriteFigureCSV.
+var figureCSVHeader = []string{
+	"figure", "label", "exec_s", "io_time_s", "ops", "blocks",
+	"moved_bytes", "iops", "bw_bytes_per_s", "arpt_s", "bps_blocks_per_s",
+}
+
+// WriteFigureCSV emits one CSV row per run of the figure, plus (for CC
+// figures) one `cc` row per metric, for downstream plotting.
+func WriteFigureCSV(w io.Writer, f experiments.Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(figureCSVHeader); err != nil {
+		return err
+	}
+	for _, pt := range f.Points {
+		m := pt.Metrics
+		row := []string{
+			f.ID,
+			pt.Label,
+			fmtFloat(m.ExecTime.Seconds()),
+			fmtFloat(m.IOTime.Seconds()),
+			strconv.FormatInt(m.Ops, 10),
+			strconv.FormatInt(m.Blocks, 10),
+			strconv.FormatInt(m.MovedBytes, 10),
+			fmtFloat(m.IOPS()),
+			fmtFloat(m.Bandwidth()),
+			fmtFloat(m.ARPT()),
+			fmtFloat(m.BPS()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if f.CC != nil {
+		for _, k := range core.Kinds {
+			if _, err := fmt.Fprintf(w, "cc,%s,%s,%s\n", f.ID, k, fmtFloat(f.CC.CC[k])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

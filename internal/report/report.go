@@ -1,0 +1,200 @@
+// Package report renders experiment results as plain-text tables: the
+// per-metric normalized-CC bar values of the paper's CC figures, the
+// metric/execution-time series of its detail figures, and the static
+// Tables 1 and 2.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"bps/internal/core"
+	"bps/internal/experiments"
+)
+
+// WriteFigure renders one figure reproduction.
+func WriteFigure(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "  paper: %s\n", strings.TrimPrefix(f.Notes, "Paper: "))
+	}
+	if f.IsDetail {
+		writeDetail(w, f)
+	} else {
+		writeRuns(w, f)
+		if f.CC != nil {
+			writeCC(w, f)
+			WriteCCBars(w, f, 24)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// writeRuns prints the per-run measurements of a sweep.
+func writeRuns(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "  %-12s %12s %12s %10s %14s %12s %12s %16s\n",
+		f.XLabel, "exec(s)", "T(s)", "ops", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)")
+	for _, pt := range f.Points {
+		m := pt.Metrics
+		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %14.1f %12.2f %12.4f %16.0f\n",
+			pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops,
+			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS())
+	}
+}
+
+// writeCC prints the normalized CC row, the figure's headline result.
+func writeCC(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "  normalized CC vs execution time:")
+	for _, k := range core.Kinds {
+		fmt.Fprintf(w, "  %s=%+.2f", k, f.CC.CC[k])
+	}
+	fmt.Fprintln(w)
+}
+
+// writeDetail prints a metric/execution-time detail series (Figs. 7, 8, 10).
+func writeDetail(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "  %-12s %16s %14s\n", f.XLabel, f.DetailKind.String(), "exec time (s)")
+	for _, pt := range f.Points {
+		fmt.Fprintf(w, "  %-12s %16s %14.4f\n",
+			pt.Label, formatMetric(f.DetailKind, pt.Metrics.Value(f.DetailKind)),
+			pt.Metrics.ExecTime.Seconds())
+	}
+}
+
+// formatMetric renders a metric value with its natural unit.
+func formatMetric(k core.MetricKind, v float64) string {
+	switch k {
+	case core.ARPT:
+		return fmt.Sprintf("%.5f s", v)
+	case core.BW:
+		return fmt.Sprintf("%.2f MB/s", v/1e6)
+	case core.BPS:
+		return fmt.Sprintf("%.0f blk/s", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// WriteTable1 renders the paper's Table 1: expected correlation
+// directions per metric.
+func WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — Expected correlation directions of each I/O metric")
+	fmt.Fprintf(w, "  %-24s %s\n", "I/O metric", "CC value")
+	names := map[core.MetricKind]string{
+		core.IOPS: "IOPS",
+		core.BW:   "Bandwidth",
+		core.ARPT: "Average response time",
+		core.BPS:  "BPS",
+	}
+	for _, k := range core.Kinds {
+		fmt.Fprintf(w, "  %-24s %s\n", names[k], k.ExpectedDirection())
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders the paper's Table 2: the experiment sets.
+func WriteTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — I/O access cases")
+	rows := []struct{ set, desc, figs string }{
+		{"Set1", "various storage device", "fig4"},
+		{"Set2", "various I/O request size", "fig5 fig6 fig7 fig8"},
+		{"Set3", "various I/O concurrency", "fig9 fig10 fig11"},
+		{"Set4", "various additional data movement", "fig12"},
+	}
+	fmt.Fprintf(w, "  %-6s %-36s %s\n", "Set", "Description", "Figures")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s %-36s %s\n", r.set, r.desc, r.figs)
+	}
+	fmt.Fprintln(w)
+}
+
+// Summary computes the cross-experiment average |CC| per metric over the
+// CC figures, the paper's §IV.C.5 summary (BPS ≈ 0.91 overall, with the
+// sign reporting whether every experiment agreed with Table 1).
+type Summary struct {
+	// MeanCC is the mean normalized CC per metric across CC figures.
+	MeanCC map[core.MetricKind]float64
+
+	// AlwaysCorrect reports whether the metric had the expected direction
+	// in every CC figure.
+	AlwaysCorrect map[core.MetricKind]bool
+}
+
+// Summarize builds the summary from reproduced figures (detail figures
+// are skipped).
+func Summarize(figs []experiments.Figure) Summary {
+	s := Summary{
+		MeanCC:        make(map[core.MetricKind]float64),
+		AlwaysCorrect: make(map[core.MetricKind]bool),
+	}
+	for _, k := range core.Kinds {
+		var sum float64
+		n := 0
+		correct := true
+		for _, f := range figs {
+			if f.CC == nil {
+				continue
+			}
+			cc := f.CC.CC[k]
+			sum += cc
+			n++
+			if cc <= 0 {
+				correct = false
+			}
+		}
+		if n > 0 {
+			s.MeanCC[k] = sum / float64(n)
+		}
+		s.AlwaysCorrect[k] = correct && n > 0
+	}
+	return s
+}
+
+// WriteSummary renders the cross-experiment summary.
+func WriteSummary(w io.Writer, figs []experiments.Figure) {
+	s := Summarize(figs)
+	fmt.Fprintln(w, "Summary — mean normalized CC across all CC figures")
+	fmt.Fprintf(w, "  %-6s %10s %18s\n", "metric", "mean CC", "always correct?")
+	for _, k := range core.Kinds {
+		fmt.Fprintf(w, "  %-6s %+10.3f %18v\n", k, s.MeanCC[k], s.AlwaysCorrect[k])
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteComparison renders the paper-vs-measured agreement table for the
+// given reproduced figures (figures the paper reports no CC for are
+// skipped).
+func WriteComparison(w io.Writer, figs []experiments.Figure) {
+	fmt.Fprintln(w, "Paper vs. measured — normalized CC directions")
+	fmt.Fprintf(w, "  %-7s %-6s %14s %14s %10s\n", "figure", "metric", "paper", "measured", "agree?")
+	for _, f := range figs {
+		a, ok := experiments.Compare(f)
+		if !ok {
+			continue
+		}
+		for _, k := range core.Kinds {
+			paper := formatPaperCC(a.Paper, k)
+			agree := "YES"
+			if !a.SignMatches[k] {
+				agree = "NO"
+			}
+			fmt.Fprintf(w, "  %-7s %-6s %14s %+14.2f %10s\n", f.ID, k, paper, a.Measured[k], agree)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// formatPaperCC renders the paper's reported value: a signed magnitude
+// when stated, otherwise just the direction.
+func formatPaperCC(p experiments.PaperCC, k core.MetricKind) string {
+	abs := p.AbsCC[k]
+	if math.IsNaN(abs) {
+		if p.Sign[k] < 0 {
+			return "wrong dir"
+		}
+		return "correct dir"
+	}
+	return fmt.Sprintf("%+.2f", float64(p.Sign[k])*abs)
+}

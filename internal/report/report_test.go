@@ -1,0 +1,231 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"bps/internal/core"
+	"bps/internal/experiments"
+	"bps/internal/sim"
+	"bps/internal/stats"
+)
+
+// fakeFigure builds a figure without running the simulator.
+func fakeFigure(detail bool) experiments.Figure {
+	mk := func(scale int64) core.Metrics {
+		return core.Metrics{
+			Ops:        100,
+			Blocks:     12800,
+			MovedBytes: 12800 * 512,
+			IOTime:     sim.Time(scale) * sim.Second,
+			SumRespt:   sim.Time(scale) * sim.Second,
+			ExecTime:   sim.Time(scale) * sim.Second,
+		}
+	}
+	f := experiments.Figure{
+		ID:     "fig4",
+		Title:  "test figure",
+		Notes:  "Paper: something.",
+		XLabel: "x",
+		Points: []experiments.Point{
+			{Label: "a", Metrics: mk(1)},
+			{Label: "b", Metrics: mk(2)},
+			{Label: "c", Metrics: mk(4)},
+		},
+	}
+	if detail {
+		f.IsDetail = true
+		f.DetailKind = core.ARPT
+	} else {
+		runs := []core.Metrics{mk(1), mk(2), mk(4)}
+		t := stats.NewCCTable("fig4", runs)
+		f.CC = &t
+	}
+	return f
+}
+
+func TestWriteFigureCC(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, fakeFigure(false))
+	out := buf.String()
+	for _, want := range []string{"Fig4", "test figure", "normalized CC", "IOPS=", "BPS=", "a", "b", "c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CC figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigureDetail(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, fakeFigure(true))
+	out := buf.String()
+	if !strings.Contains(out, "ARPT") || !strings.Contains(out, "exec time (s)") {
+		t.Errorf("detail output missing series headers:\n%s", out)
+	}
+	if strings.Contains(out, "normalized CC") {
+		t.Errorf("detail figure printed a CC row:\n%s", out)
+	}
+}
+
+func TestFormatMetricUnits(t *testing.T) {
+	cases := []struct {
+		k    core.MetricKind
+		v    float64
+		want string
+	}{
+		{core.ARPT, 0.5, "0.50000 s"},
+		{core.BW, 2e6, "2.00 MB/s"},
+		{core.BPS, 1234.4, "1234 blk/s"},
+		{core.IOPS, 12.34, "12.3"},
+	}
+	for _, c := range cases {
+		if got := formatMetric(c.k, c.v); got != c.want {
+			t.Errorf("formatMetric(%v, %v) = %q, want %q", c.k, c.v, got, c.want)
+		}
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable1(&buf)
+	out := buf.String()
+	// Paper Table 1 content: ARPT positive, others negative.
+	if !strings.Contains(out, "Average response time") || !strings.Contains(out, "positive") {
+		t.Errorf("Table 1 output wrong:\n%s", out)
+	}
+	if strings.Count(out, "negative") != 3 {
+		t.Errorf("Table 1 should list 3 negative metrics:\n%s", out)
+	}
+
+	buf.Reset()
+	WriteTable2(&buf)
+	out = buf.String()
+	for _, want := range []string{"Set1", "Set4", "various storage device", "additional data movement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	good := fakeFigure(false)
+	figs := []experiments.Figure{good, fakeFigure(true)} // detail skipped
+	s := Summarize(figs)
+	for _, k := range core.Kinds {
+		if s.MeanCC[k] < 0.9 {
+			t.Errorf("mean CC(%v) = %v", k, s.MeanCC[k])
+		}
+		if !s.AlwaysCorrect[k] {
+			t.Errorf("%v should be always correct in this fixture", k)
+		}
+	}
+
+	// Flip one metric's CC negative: AlwaysCorrect must drop.
+	bad := fakeFigure(false)
+	bad.CC.CC[core.BW] = -0.4
+	s = Summarize([]experiments.Figure{good, bad})
+	if s.AlwaysCorrect[core.BW] {
+		t.Error("BW marked always-correct despite a wrong-direction figure")
+	}
+	if !s.AlwaysCorrect[core.BPS] {
+		t.Error("BPS should remain always-correct")
+	}
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, []experiments.Figure{good, bad})
+	if !strings.Contains(buf.String(), "false") || !strings.Contains(buf.String(), "true") {
+		t.Errorf("summary output:\n%s", buf.String())
+	}
+}
+
+func TestWriteCCBars(t *testing.T) {
+	f := fakeFigure(false)
+	f.CC.CC[core.BW] = -0.5
+	var buf bytes.Buffer
+	WriteCCBars(&buf, f, 10)
+	out := buf.String()
+	if !strings.Contains(out, "CC bars") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + axis + 4 metric rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The BW row's hashes must be left of the axis (misleading).
+	var bwLine string
+	for _, l := range lines {
+		if strings.Contains(l, "BW") {
+			bwLine = l
+		}
+	}
+	axis := strings.IndexRune(bwLine, '│')
+	hash := strings.IndexRune(bwLine, '#')
+	if axis < 0 || hash < 0 || hash > axis {
+		t.Fatalf("BW bar not on the negative side: %q", bwLine)
+	}
+	// Detail figures render no bars.
+	buf.Reset()
+	WriteCCBars(&buf, fakeFigure(true), 10)
+	if buf.Len() != 0 {
+		t.Fatal("bars rendered for a detail figure")
+	}
+}
+
+func TestCCBarClamping(t *testing.T) {
+	if got := ccBar(2.5, 4); !strings.Contains(got, "####") {
+		t.Fatalf("over-range bar %q", got)
+	}
+	if got := ccBar(math.NaN(), 4); !strings.Contains(got, "NaN") {
+		t.Fatalf("NaN bar %q", got)
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, fakeFigure(false)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 3 runs + 4 cc rows.
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "figure,label,exec_s") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "fig4,a,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[4], "cc,fig4,IOPS,") {
+		t.Fatalf("cc row = %q", lines[4])
+	}
+	// Detail figures emit runs but no cc rows.
+	buf.Reset()
+	if err := WriteFigureCSV(&buf, fakeFigure(true)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\ncc,") {
+		t.Fatal("detail figure emitted cc rows")
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	f := fakeFigure(false) // ID fig4; all CC ≈ +0.93 per the fixture
+	var buf bytes.Buffer
+	WriteComparison(&buf, []experiments.Figure{f, fakeFigure(true)})
+	out := buf.String()
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "YES") {
+		t.Fatalf("comparison output:\n%s", out)
+	}
+	// A flipped sign must show NO.
+	f.CC.CC[core.BW] = -0.4
+	buf.Reset()
+	WriteComparison(&buf, []experiments.Figure{f})
+	if !strings.Contains(buf.String(), "NO") {
+		t.Fatalf("flipped sign not flagged:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// event is a scheduled callback in the event calendar.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same time
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation engine.
+//
+// The zero value is not usable; construct with NewEngine. All methods must
+// be called either before Run, from inside an event callback, or from a
+// running Proc — the engine enforces single-threaded execution, so no
+// additional locking is required by users.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	nevents uint64
+
+	// yield is the proc→engine handshake: whichever process goroutine is
+	// currently running signals on yield exactly once when it parks or
+	// terminates, returning control to the engine.
+	yield chan struct{}
+
+	// live tracks spawned processes that have not yet terminated, so that
+	// Run can detect deadlock (live procs but an empty calendar).
+	live map[*Proc]struct{}
+
+	// procs tracks every unfinished process (including daemons), so
+	// Shutdown can unwind parked goroutines.
+	procs map[*Proc]struct{}
+
+	// trap carries a panic raised on a process goroutine back to the
+	// engine goroutine, where it re-panics inside Run — so simulation
+	// bugs surface on the caller's stack instead of crashing a detached
+	// goroutine.
+	trap interface{}
+
+	rng *rand.Rand
+}
+
+// waitYield blocks until the currently-running process parks or ends,
+// then re-raises any panic the process trapped.
+func (e *Engine) waitYield() {
+	<-e.yield
+	if e.trap != nil {
+		t := e.trap
+		e.trap = nil
+		panic(t)
+	}
+}
+
+// NewEngine returns an engine with simulated time 0 and an RNG seeded with
+// seed. Two engines with the same seed executing the same program produce
+// identical schedules.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Shutdown unwinds every parked process goroutine (daemon worker loops,
+// deadlocked processes) after the simulation has finished, so that
+// programs running many simulations do not accumulate blocked
+// goroutines. It must be called after Run/RunUntil has returned, from
+// the same goroutine; the engine must not be used afterwards.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		if !p.started {
+			// The start event never fired (RunUntil stopped early); there
+			// is no goroutine to unwind.
+			delete(e.procs, p)
+			delete(e.live, p)
+			continue
+		}
+		p.resume <- true // park() panics with killed{}
+		e.waitYield()
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nevents }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (procs and event callbacks), which the
+// engine serializes.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is an error in the simulation program and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// DeadlockError reports that processes remained blocked with no scheduled
+// events to wake them.
+type DeadlockError struct {
+	Now   Time
+	Procs []string // names of blocked processes, sorted
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es) %v", d.Now, len(d.Procs), d.Procs)
+}
+
+// Run executes events until the calendar is empty. It returns a
+// *DeadlockError if live processes remain blocked afterwards, nil
+// otherwise. Run must be called exactly once on the engine goroutine.
+func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with time ≤ deadline. Events beyond the
+// deadline remain in the calendar. It returns a *DeadlockError if the
+// calendar drains while processes are still blocked.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.nevents++
+		ev.fn()
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Now: e.now, Procs: names}
+	}
+	return nil
+}

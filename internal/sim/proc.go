@@ -1,0 +1,203 @@
+package sim
+
+// Proc is a simulation process: a Go function running on its own goroutine
+// under the engine's strict alternation discipline. At any instant either
+// the engine or exactly one process is executing; control transfers happen
+// only at park points (Sleep, Future.Wait, Resource.Acquire, Queue ops).
+//
+// A Proc must not be shared across goroutines and must only be used by the
+// body function it was created for.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan bool // true = killed by Shutdown
+	started bool
+}
+
+// killed is the sentinel panic value that unwinds a process during
+// Engine.Shutdown.
+type killed struct{}
+
+// Engine returns the engine the process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that begins executing body at the current
+// simulated time (after already-scheduled events at that time). It may be
+// called before Run or from simulation context.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a process that begins executing body at absolute time t.
+func (e *Engine) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
+	return e.spawn(t, name, body, false)
+}
+
+// SpawnDaemon creates an infrastructure process (e.g. a server worker
+// loop) that is expected to block forever once the workload drains: it is
+// excluded from deadlock detection. Its goroutine remains parked when the
+// simulation ends.
+func (e *Engine) SpawnDaemon(name string, body func(*Proc)) *Proc {
+	return e.spawn(e.now, name, body, true)
+}
+
+func (e *Engine) spawn(t Time, name string, body func(*Proc), daemon bool) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan bool)}
+	if !daemon {
+		e.live[p] = struct{}{}
+	}
+	e.procs[p] = struct{}{}
+	e.At(t, func() {
+		p.started = true
+		go func() {
+			defer func() {
+				// A Shutdown kill unwinds silently; real panics from the
+				// simulation program are trapped and re-raised on the
+				// engine goroutine inside Run.
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						e.trap = r
+					}
+				}
+				delete(e.live, p) // safe: engine is blocked on yield below
+				delete(e.procs, p)
+				e.yield <- struct{}{}
+			}()
+			body(p)
+		}()
+		e.waitYield()
+	})
+	return p
+}
+
+// park suspends the calling process and returns control to the engine.
+// The process stays suspended until some event callback calls unpark, or
+// Engine.Shutdown kills it.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	if <-p.resume {
+		panic(killed{})
+	}
+}
+
+// unpark transfers control from the engine to process p and blocks until p
+// parks again or terminates. It must be called only from an event callback
+// (engine context), never from another process.
+func (e *Engine) unpark(p *Proc) {
+	p.resume <- false
+	e.waitYield()
+}
+
+// wake schedules p to be resumed at the current simulated time, preserving
+// FIFO order with other wakes. Safe to call from any simulation context.
+func (e *Engine) wake(p *Proc) {
+	e.After(0, func() { e.unpark(p) })
+}
+
+// Sleep suspends the process for d simulated nanoseconds. Zero d yields to
+// other events scheduled at the current time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e := p.eng
+	e.After(d, func() { e.unpark(p) })
+	p.park()
+}
+
+// Future is a one-shot completion that processes can wait on. The zero
+// value is usable once bound to an engine via NewFuture.
+type Future struct {
+	eng     *Engine
+	done    bool
+	when    Time
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete Future.
+func (e *Engine) NewFuture() *Future { return &Future{eng: e} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// When returns the time the future completed (valid only if Done).
+func (f *Future) When() Time { return f.when }
+
+// Complete marks the future done and wakes all waiters. Completing twice
+// panics: completion is a one-shot protocol and a double completion always
+// indicates a bug in the simulation program.
+func (f *Future) Complete() {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.when = f.eng.now
+	for _, p := range f.waiters {
+		f.eng.wake(p)
+	}
+	f.waiters = nil
+}
+
+// Wait suspends p until the future completes. Returns immediately if it
+// already has.
+func (f *Future) Wait(p *Proc) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.park()
+}
+
+// WaitAll suspends p until every future in fs has completed.
+func WaitAll(p *Proc, fs ...*Future) {
+	for _, f := range fs {
+		f.Wait(p)
+	}
+}
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but for
+// simulated processes.
+type WaitGroup struct {
+	eng     *Engine
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup with a zero count.
+func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the counter by k.
+func (w *WaitGroup) Add(k int) {
+	w.n += k
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.release()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+func (w *WaitGroup) release() {
+	for _, p := range w.waiters {
+		w.eng.wake(p)
+	}
+	w.waiters = nil
+}
+
+// Wait suspends p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park()
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// LatencyDist summarizes a run's per-access response-time distribution —
+// the detail that ARPT's single mean hides. The paper's critique of ARPT
+// is precisely that the mean discards shape; a distribution makes the
+// shape visible.
+type LatencyDist struct {
+	Count  int
+	Min    sim.Time
+	Max    sim.Time
+	Mean   sim.Time
+	StdDev sim.Time
+
+	// sorted response times for quantile queries.
+	sorted []sim.Time
+}
+
+// NewLatencyDist builds a distribution from access records.
+func NewLatencyDist(records []trace.Record) LatencyDist {
+	if len(records) == 0 {
+		return LatencyDist{}
+	}
+	d := LatencyDist{
+		Count:  len(records),
+		sorted: make([]sim.Time, len(records)),
+	}
+	var sum float64
+	for i, r := range records {
+		dur := r.Duration()
+		d.sorted[i] = dur
+		sum += float64(dur)
+	}
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	d.Min = d.sorted[0]
+	d.Max = d.sorted[len(d.sorted)-1]
+	mean := sum / float64(d.Count)
+	d.Mean = sim.Time(mean)
+	var ss float64
+	for _, dur := range d.sorted {
+		diff := float64(dur) - mean
+		ss += diff * diff
+	}
+	d.StdDev = sim.Time(math.Sqrt(ss / float64(d.Count)))
+	return d
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank; Quantile(0.5)
+// is the median, Quantile(0.99) the p99.
+func (d LatencyDist) Quantile(q float64) sim.Time {
+	if d.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.sorted[0]
+	}
+	if q >= 1 {
+		return d.sorted[d.Count-1]
+	}
+	rank := int(math.Ceil(q*float64(d.Count))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return d.sorted[rank]
+}
+
+// String renders the usual summary row.
+func (d LatencyDist) String() string {
+	if d.Count == 0 {
+		return "latency: no accesses"
+	}
+	return fmt.Sprintf("latency: n=%d min=%v p50=%v mean=%v p95=%v p99=%v max=%v",
+		d.Count, d.Min, d.Quantile(0.5), d.Mean, d.Quantile(0.95), d.Quantile(0.99), d.Max)
+}
+
+// Histogram renders a log2-bucketed ASCII histogram of the distribution,
+// one line per occupied bucket.
+func (d LatencyDist) Histogram(width int) string {
+	if d.Count == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	// log2 buckets over [Min, Max].
+	type bucket struct {
+		lo, hi sim.Time
+		n      int
+	}
+	var buckets []bucket
+	lo := sim.Time(1)
+	for lo*2 <= d.Min {
+		lo *= 2
+	}
+	for hi := lo * 2; lo <= d.Max; lo, hi = hi, hi*2 {
+		buckets = append(buckets, bucket{lo: lo, hi: hi})
+	}
+	idx := 0
+	for _, dur := range d.sorted {
+		for idx < len(buckets)-1 && dur >= buckets[idx].hi {
+			idx++
+		}
+		buckets[idx].n++
+	}
+	peak := 0
+	for _, b := range buckets {
+		if b.n > peak {
+			peak = b.n
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		if b.n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(float64(width)*float64(b.n)/float64(peak)+0.5))
+		fmt.Fprintf(&sb, "%12v..%-12v %7d %s\n", b.lo, b.hi, b.n, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+func recWithDur(dur sim.Time) trace.Record {
+	return trace.Record{PID: 1, Blocks: 1, Start: 0, End: dur}
+}
+
+func TestLatencyDistEmpty(t *testing.T) {
+	d := NewLatencyDist(nil)
+	if d.Count != 0 || d.Quantile(0.5) != 0 {
+		t.Fatalf("empty dist = %+v", d)
+	}
+	if d.String() != "latency: no accesses" {
+		t.Fatalf("String = %q", d.String())
+	}
+	if d.Histogram(40) != "" {
+		t.Fatal("empty histogram not empty")
+	}
+}
+
+func TestLatencyDistBasics(t *testing.T) {
+	records := []trace.Record{
+		recWithDur(1 * sim.Millisecond),
+		recWithDur(2 * sim.Millisecond),
+		recWithDur(3 * sim.Millisecond),
+		recWithDur(4 * sim.Millisecond),
+		recWithDur(100 * sim.Millisecond), // outlier
+	}
+	d := NewLatencyDist(records)
+	if d.Count != 5 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	if d.Min != sim.Millisecond || d.Max != 100*sim.Millisecond {
+		t.Fatalf("min/max = %v/%v", d.Min, d.Max)
+	}
+	if d.Mean != 22*sim.Millisecond {
+		t.Fatalf("mean = %v", d.Mean)
+	}
+	if got := d.Quantile(0.5); got != 3*sim.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	// The outlier dominates p99 but not p50 — the shape ARPT hides.
+	if got := d.Quantile(0.99); got != 100*sim.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := d.Quantile(0); got != d.Min {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := d.Quantile(1); got != d.Max {
+		t.Fatalf("q1 = %v", got)
+	}
+	if !strings.Contains(d.String(), "p99") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var records []trace.Record
+	for i := 0; i < 64; i++ {
+		records = append(records, recWithDur(sim.Millisecond))
+	}
+	records = append(records, recWithDur(64*sim.Millisecond))
+	d := NewLatencyDist(records)
+	h := d.Histogram(20)
+	lines := strings.Split(strings.TrimSpace(h), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("histogram lines = %d:\n%s", len(lines), h)
+	}
+	if !strings.Contains(lines[0], "64") {
+		t.Fatalf("first bucket should hold 64 accesses:\n%s", h)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max; the mean
+// lies within [min, max].
+func TestLatencyDistProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		records := make([]trace.Record, n)
+		for i := range records {
+			records[i] = recWithDur(sim.Time(rng.Int63n(int64(sim.Second))) + 1)
+		}
+		d := NewLatencyDist(records)
+		prev := sim.Time(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := d.Quantile(q)
+			if v < prev || v < d.Min || v > d.Max {
+				return false
+			}
+			prev = v
+		}
+		return d.Mean >= d.Min && d.Mean <= d.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package testbed assembles the simulated equivalents of the BPS paper's
+// cluster (§IV.B) from the substrate packages: 7200 RPM SATA HDDs, PCI-E
+// SSDs, Gigabit Ethernet with a finite shared backplane, and PVFS-like
+// I/O servers running a local file system with kernel readahead. Both the
+// paper-reproduction experiments and the public API build their systems
+// here.
+package testbed
+
+import (
+	"fmt"
+
+	"bps/internal/device"
+	"bps/internal/fsim"
+	"bps/internal/netsim"
+	"bps/internal/pfs"
+	"bps/internal/sim"
+	"bps/internal/workload"
+)
+
+// Testbed constants mirroring the paper's cluster.
+const (
+	// ServerCacheBytes is each I/O server's page-cache size.
+	ServerCacheBytes = 1 << 30
+
+	// ServerReadAhead is each server's kernel readahead window.
+	ServerReadAhead = 1 << 20
+
+	// BackplaneRate is the shared-fabric aggregate limit — the stand-in
+	// for every cross-stream coupling the real cluster has (switch
+	// backplane, client VFS, PVFS metadata path). See DESIGN.md.
+	BackplaneRate = 400e6
+)
+
+// Media selects a device model.
+type Media int
+
+// The two storage media in the paper's testbed.
+const (
+	HDD Media = iota
+	SSD
+)
+
+// String implements fmt.Stringer.
+func (m Media) String() string {
+	if m == HDD {
+		return "hdd"
+	}
+	return "ssd"
+}
+
+// NewDevice builds one device of the given media with the paper-testbed
+// defaults.
+func NewDevice(e *sim.Engine, m Media) device.Device {
+	if m == SSD {
+		return device.NewSSD(e, device.DefaultSSD())
+	}
+	return device.NewHDD(e, device.DefaultHDD())
+}
+
+// NewFTLSSD builds an SSD under sustained-write conditions: FTL write
+// amplification 2.5 and periodic foreground garbage-collection stalls,
+// for the write-workload extension experiments.
+func NewFTLSSD(e *sim.Engine) device.Device {
+	cfg := device.DefaultSSD()
+	cfg.WriteAmplification = 2.5
+	cfg.GCPauseEvery = 256 << 20
+	cfg.GCPause = 20 * sim.Millisecond
+	return device.NewSSD(e, cfg)
+}
+
+// NewLocalEnvOn builds a local file system on an explicit device.
+func NewLocalEnvOn(e *sim.Engine, dev device.Device, nfiles int, fileSize int64) (*workload.LocalEnv, error) {
+	fs := fsim.New(e, dev, fsim.Config{Name: "local." + dev.Name()})
+	env := &workload.LocalEnv{FS: fs}
+	for i := 0; i < nfiles; i++ {
+		f, err := fs.Create(fmt.Sprintf("file%d", i), fileSize)
+		if err != nil {
+			return nil, err
+		}
+		env.Files = append(env.Files, f)
+	}
+	return env, nil
+}
+
+// NewLocalEnv builds a direct-attached local file system on one device
+// with nfiles preallocated files. No page cache: the paper flushes caches
+// before each local run.
+func NewLocalEnv(e *sim.Engine, m Media, nfiles int, fileSize int64) (*workload.LocalEnv, error) {
+	fs := fsim.New(e, NewDevice(e, m), fsim.Config{Name: "local." + m.String()})
+	env := &workload.LocalEnv{FS: fs}
+	for i := 0; i < nfiles; i++ {
+		f, err := fs.Create(fmt.Sprintf("file%d", i), fileSize)
+		if err != nil {
+			return nil, err
+		}
+		env.Files = append(env.Files, f)
+	}
+	return env, nil
+}
+
+// ClusterSpec describes a PVFS-like deployment for one run.
+type ClusterSpec struct {
+	Servers int
+	Media   Media
+	Clients int
+}
+
+// NewCluster builds the cluster testbed: Gigabit fabric with a finite
+// backplane, one device per server, server-side cache and readahead.
+func NewCluster(e *sim.Engine, spec ClusterSpec) (*pfs.Cluster, []*pfs.Client) {
+	fabric := netsim.NewFabric(e, netsim.Config{
+		Bandwidth:     125e6,
+		Latency:       50 * sim.Microsecond,
+		MTU:           9000,
+		FrameOverhead: sim.Microsecond,
+		BackplaneRate: BackplaneRate,
+	})
+	devs := make([]device.Device, spec.Servers)
+	for i := range devs {
+		devs[i] = NewDevice(e, spec.Media)
+	}
+	cluster := pfs.NewCluster(e, fabric, pfs.Config{
+		ServerFS: fsim.Config{
+			CacheBytes: ServerCacheBytes,
+			ReadAhead:  ServerReadAhead,
+		},
+	}, devs)
+	clients := make([]*pfs.Client, spec.Clients)
+	for i := range clients {
+		clients[i] = cluster.NewClient(fmt.Sprintf("cn%d", i))
+	}
+	return cluster, clients
+}
+
+// NewSharedFileEnv builds a cluster env with one file striped over all
+// servers, shared by all clients.
+func NewSharedFileEnv(e *sim.Engine, spec ClusterSpec, fileSize int64) (*workload.ClusterEnv, error) {
+	cluster, clients := NewCluster(e, spec)
+	f, err := cluster.Create("shared", fileSize, cluster.DefaultLayout())
+	if err != nil {
+		return nil, err
+	}
+	cluster.FlushCaches()
+	return &workload.ClusterEnv{Cluster: cluster, Clients: clients, Files: []*pfs.File{f}}, nil
+}
+
+// NewPinnedFilesEnv builds the paper's "pure" concurrency setup
+// (§IV.C.3): one file per client, pinned to server i mod Servers.
+func NewPinnedFilesEnv(e *sim.Engine, spec ClusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {
+	cluster, clients := NewCluster(e, spec)
+	env := &workload.ClusterEnv{Cluster: cluster, Clients: clients}
+	for i := 0; i < spec.Clients; i++ {
+		f, err := cluster.Create(fmt.Sprintf("own%d", i), filePerProc, cluster.PinnedLayout(i%spec.Servers))
+		if err != nil {
+			return nil, err
+		}
+		env.Files = append(env.Files, f)
+	}
+	cluster.FlushCaches()
+	return env, nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bps/internal/sim"
+)
+
+// ParseBlkparse converts blktrace/blkparse-style text output into BPS
+// records, bridging the toolkit to real block-layer traces. It consumes
+// the default blkparse line format:
+//
+//	maj,min cpu seq timestamp pid action rwbs sector + sectors [comm]
+//
+// e.g.
+//
+//	8,0  1  42  0.000123456  4510  D  R  1000 + 8 [qemu]
+//	8,0  1  57  0.000323456  4510  C  R  1000 + 8 [0]
+//
+// Issue events (action D) open an access; the matching completion
+// (action C, same device and sector) closes it. The record's Blocks is
+// the sector count — blktrace sectors are 512 bytes, exactly the paper's
+// block unit — PID comes from the issue event, Start/End from the two
+// timestamps. All other actions (Q, G, I, M, ...) are ignored.
+//
+// Completions without a matching issue are ignored; issues that never
+// complete are reported in the returned count of dropped accesses.
+func ParseBlkparse(r io.Reader) (records []Record, dropped int, err error) {
+	type key struct {
+		dev    string
+		sector int64
+	}
+	type open struct {
+		pid    int64
+		blocks int64
+		start  sim.Time
+	}
+	inflight := make(map[key][]open)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 9 {
+			continue // not an event line (summary, blank, ...)
+		}
+		action := fields[5]
+		if action != "D" && action != "C" {
+			continue
+		}
+		if fields[7] == "" || fields[8] != "+" && len(fields) < 10 {
+			continue
+		}
+		ts, err := parseBlkTimestamp(fields[3])
+		if err != nil {
+			return records, dropped, fmt.Errorf("trace: blkparse line %d: %w", line, err)
+		}
+		pid, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return records, dropped, fmt.Errorf("trace: blkparse line %d: bad pid %q", line, fields[4])
+		}
+		sector, err := strconv.ParseInt(fields[7], 10, 64)
+		if err != nil {
+			return records, dropped, fmt.Errorf("trace: blkparse line %d: bad sector %q", line, fields[7])
+		}
+		var sectors int64
+		if len(fields) >= 10 && fields[8] == "+" {
+			sectors, err = strconv.ParseInt(fields[9], 10, 64)
+			if err != nil {
+				return records, dropped, fmt.Errorf("trace: blkparse line %d: bad sector count %q", line, fields[9])
+			}
+		} else {
+			continue // zero-size barrier/flush events carry no "+ n"
+		}
+		k := key{dev: fields[0], sector: sector}
+		switch action {
+		case "D":
+			inflight[k] = append(inflight[k], open{pid: pid, blocks: sectors, start: ts})
+		case "C":
+			q := inflight[k]
+			if len(q) == 0 {
+				continue // completion without issue (trace started mid-flight)
+			}
+			o := q[0]
+			if len(q) == 1 {
+				delete(inflight, k)
+			} else {
+				inflight[k] = q[1:]
+			}
+			records = append(records, Record{PID: o.pid, Blocks: o.blocks, Start: o.start, End: ts})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return records, dropped, fmt.Errorf("trace: blkparse: %w", err)
+	}
+	for _, q := range inflight {
+		dropped += len(q)
+	}
+	return records, dropped, nil
+}
+
+// parseBlkTimestamp parses blkparse's seconds.nanoseconds timestamps
+// without floating-point rounding.
+func parseBlkTimestamp(s string) (sim.Time, error) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		sec, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad timestamp %q", s)
+		}
+		return sim.Time(sec) * sim.Second, nil
+	}
+	sec, err := strconv.ParseInt(s[:dot], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q", s)
+	}
+	frac := s[dot+1:]
+	if len(frac) > 9 {
+		frac = frac[:9]
+	}
+	for len(frac) < 9 {
+		frac += "0"
+	}
+	ns, err := strconv.ParseInt(frac, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q", s)
+	}
+	return sim.Time(sec)*sim.Second + sim.Time(ns), nil
+}

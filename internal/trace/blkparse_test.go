@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bps/internal/sim"
+)
+
+const sampleBlkparse = `8,0  1  1  0.000000000  100  Q  R  1000 + 8 [app]
+8,0  1  2  0.000100000  100  D  R  1000 + 8 [app]
+8,0  1  3  0.005100000  100  C  R  1000 + 8 [0]
+8,0  1  4  0.006000000  200  D  W  2048 + 16 [app]
+8,0  1  5  0.006500000  100  D  R  4096 + 8 [app]
+8,0  1  6  0.012000000  200  C  W  2048 + 16 [0]
+8,0  1  7  0.013000000  100  C  R  4096 + 8 [0]
+CPU0 (8,0): reads queued 2
+`
+
+func TestParseBlkparseBasic(t *testing.T) {
+	records, dropped, err := ParseBlkparse(strings.NewReader(sampleBlkparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want 3 (Q events ignored)", len(records))
+	}
+	first := records[0]
+	if first.PID != 100 || first.Blocks != 8 {
+		t.Fatalf("first = %+v", first)
+	}
+	if first.Start != 100*sim.Microsecond || first.End != 5100*sim.Microsecond {
+		t.Fatalf("first times = %v..%v", first.Start, first.End)
+	}
+	// Overlapping W and R: records carry correct independent intervals.
+	if records[1].PID != 200 || records[1].Blocks != 16 {
+		t.Fatalf("second = %+v", records[1])
+	}
+	if got := sim.Time(records[2].End - records[2].Start); got != 6500*sim.Microsecond {
+		t.Fatalf("third duration = %v", got)
+	}
+}
+
+func TestParseBlkparseUnmatchedEvents(t *testing.T) {
+	in := `8,0 1 1 0.000000 100 C R 1000 + 8 [0]
+8,0 1 2 0.001000 100 D R 2000 + 8 [app]
+`
+	records, dropped, err := ParseBlkparse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("records = %d, want 0", len(records))
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (issue without completion)", dropped)
+	}
+}
+
+func TestParseBlkparseQueuedDuplicateSectors(t *testing.T) {
+	// Two issues to the same sector complete FIFO.
+	in := `8,0 1 1 0.000000 1 D R 500 + 8 [a]
+8,0 1 2 0.001000 2 D R 500 + 8 [b]
+8,0 1 3 0.002000 1 C R 500 + 8 [0]
+8,0 1 4 0.003000 2 C R 500 + 8 [0]
+`
+	records, dropped, err := ParseBlkparse(strings.NewReader(in))
+	if err != nil || dropped != 0 {
+		t.Fatal(err, dropped)
+	}
+	if len(records) != 2 || records[0].PID != 1 || records[1].PID != 2 {
+		t.Fatalf("records = %+v", records)
+	}
+}
+
+func TestParseBlkparseBadFields(t *testing.T) {
+	bad := []string{
+		"8,0 1 1 notatime 100 D R 1000 + 8 [a]",
+		"8,0 1 1 0.5 pid D R 1000 + 8 [a]",
+		"8,0 1 1 0.5 100 D R sector + 8 [a]",
+		"8,0 1 1 0.5 100 D R 1000 + eight [a]",
+	}
+	for _, line := range bad {
+		if _, _, err := ParseBlkparse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseBlkparseTimestampPrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sim.Time
+	}{
+		{"0.000000001", 1},
+		{"1.5", 1500 * sim.Millisecond},
+		{"2", 2 * sim.Second},
+		{"0.123456789123", 123456789}, // sub-ns digits truncated
+	}
+	for _, c := range cases {
+		got, err := parseBlkTimestamp(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseBlkTimestamp(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseBlkTimestamp("x.y"); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestParseBlkparseIntoMetricsPipeline(t *testing.T) {
+	records, _, err := ParseBlkparse(strings.NewReader(sampleBlkparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromRecords(records)
+	if g.TotalBlocks() != 8+16+8 {
+		t.Fatalf("B = %d", g.TotalBlocks())
+	}
+}

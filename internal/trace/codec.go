@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bps/internal/sim"
+)
+
+// The binary format is exactly the paper's 32-byte record: four
+// little-endian int64 fields {pid, blocks, start_ns, end_ns}, no header.
+
+// WriteBinary encodes records in the 32-byte binary format.
+func WriteBinary(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	var buf [RecordSize]byte
+	for _, r := range records {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.PID))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(r.Blocks))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(r.Start))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(r.End))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes records from the 32-byte binary format until EOF.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var out []Record
+	var buf [RecordSize]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return out, fmt.Errorf("trace: truncated record after %d records", len(out))
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Record{
+			PID:    int64(binary.LittleEndian.Uint64(buf[0:])),
+			Blocks: int64(binary.LittleEndian.Uint64(buf[8:])),
+			Start:  sim.Time(binary.LittleEndian.Uint64(buf[16:])),
+			End:    sim.Time(binary.LittleEndian.Uint64(buf[24:])),
+		})
+	}
+}
+
+// csvHeader is the first row of the CSV encoding.
+var csvHeader = []string{"pid", "blocks", "start_ns", "end_ns"}
+
+// WriteCSV encodes records as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			strconv.FormatInt(r.PID, 10),
+			strconv.FormatInt(r.Blocks, 10),
+			strconv.FormatInt(int64(r.Start), 10),
+			strconv.FormatInt(int64(r.End), 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes records from CSV produced by WriteCSV. The header row is
+// required.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: CSV header %v, want %v", header, csvHeader)
+	}
+	for i := range csvHeader {
+		if header[i] != csvHeader[i] {
+			return nil, fmt.Errorf("trace: CSV header %v, want %v", header, csvHeader)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		var rec Record
+		fields := []*int64{&rec.PID, &rec.Blocks, (*int64)(&rec.Start), (*int64)(&rec.End)}
+		for i, f := range fields {
+			v, err := strconv.ParseInt(row[i], 10, 64)
+			if err != nil {
+				return out, fmt.Errorf("trace: CSV line %d field %q: %w", line, csvHeader[i], err)
+			}
+			*f = v
+		}
+		out = append(out, rec)
+	}
+}
+
+// jsonRecord is the JSONL wire form.
+type jsonRecord struct {
+	PID    int64 `json:"pid"`
+	Blocks int64 `json:"blocks"`
+	Start  int64 `json:"start_ns"`
+	End    int64 `json:"end_ns"`
+}
+
+// WriteJSONL encodes records as one JSON object per line.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if err := enc.Encode(jsonRecord{r.PID, r.Blocks, int64(r.Start), int64(r.End)}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: JSONL record %d: %w", len(out)+1, err)
+		}
+		out = append(out, Record{PID: jr.PID, Blocks: jr.Blocks, Start: sim.Time(jr.Start), End: sim.Time(jr.End)})
+	}
+}

@@ -1,0 +1,331 @@
+package bps
+
+import (
+	"fmt"
+	"sort"
+
+	"bps/internal/core"
+	"bps/internal/device"
+	"bps/internal/fsim"
+	"bps/internal/pfs"
+	"bps/internal/sim"
+	"bps/internal/testbed"
+	"bps/internal/workload"
+)
+
+// Media selects the storage medium for a simulated run.
+type Media = testbed.Media
+
+// Storage media matching the paper's testbed devices.
+const (
+	HDD = testbed.HDD
+	SSD = testbed.SSD
+)
+
+// Storage describes the storage stack for a simulated run.
+type Storage struct {
+	// Media is the device model (HDD or SSD).
+	Media Media
+
+	// Servers selects the stack: 0 means a direct-attached local file
+	// system; n ≥ 1 means a PVFS-like parallel file system with n I/O
+	// servers on a Gigabit fabric.
+	Servers int
+
+	// SharedFile, for cluster stacks, stripes one shared file across all
+	// servers and gives each process its own segment (IOR style). When
+	// false, each process gets its own file pinned to one server (the
+	// paper's "pure" concurrency setup).
+	SharedFile bool
+
+	// FaultEvery, when nonzero on a local stack, fails every Nth device
+	// access after it has consumed its full service time — the paper's
+	// §III.A non-successful accesses, which still count in B.
+	FaultEvery uint64
+}
+
+// RunConfig carries the common knobs of a simulated run.
+type RunConfig struct {
+	Storage Storage
+
+	// Seed makes runs reproducible; equal seeds give identical results.
+	Seed int64
+}
+
+// RunReport is everything measured from one simulated run.
+type RunReport struct {
+	// Metrics holds the run's measurements; use its IOPS, Bandwidth,
+	// ARPT, and BPS methods for the four metric values.
+	Metrics Metrics
+
+	// Records is the gathered application-access trace.
+	Records []Record
+
+	// Errors counts failed application accesses (still included in B).
+	Errors int
+}
+
+// SimulateSequentialRead runs an IOzone/IOR-style workload: procs
+// processes each sequentially read bytesPerProc bytes in recordSize
+// records.
+func SimulateSequentialRead(cfg RunConfig, procs int, bytesPerProc, recordSize int64) (RunReport, error) {
+	w := workload.SeqRead{
+		Label:           "seqread",
+		Processes:       procs,
+		BytesPerProcess: bytesPerProc,
+		RecordSize:      recordSize,
+	}
+	if cfg.Storage.Servers > 0 && cfg.Storage.SharedFile {
+		w.UseMPIIO = true
+		w.StartOffset = func(pid int) int64 { return int64(pid) * bytesPerProc }
+	}
+	return simulate(cfg, procs, int64(procs)*bytesPerProc, bytesPerProc, w)
+}
+
+// SimulateNoncontiguousRead runs an HPIO-style workload: each process
+// reads regionCount regions of regionSize bytes separated by spacing
+// bytes of hole through the MPI-IO layer, with or without data sieving.
+func SimulateNoncontiguousRead(cfg RunConfig, procs, regionCount int, regionSize, spacing int64, sieving bool) (RunReport, error) {
+	w := workload.Noncontig{
+		Label:          "noncontig",
+		Processes:      procs,
+		RegionCount:    regionCount,
+		RegionSize:     regionSize,
+		RegionSpacing:  spacing,
+		RegionsPerCall: 1024,
+		Sieving:        sieving,
+	}
+	perProc := w.Span() + w.RegionSpacing
+	cfg.Storage.SharedFile = cfg.Storage.Servers > 0 // region bases are per-process segments
+	return simulate(cfg, procs, int64(procs)*perProc, perProc, w)
+}
+
+// AppSpec describes one application in a multi-application simulation.
+type AppSpec struct {
+	Name            string
+	Processes       int
+	BytesPerProcess int64
+	RecordSize      int64
+
+	// ComputePerOp inserts think time after each record, letting apps
+	// with different I/O intensity share the system.
+	ComputePerOp Time
+}
+
+// SimulateConcurrentApps runs several applications concurrently on one
+// I/O system and records all of them, the paper's multi-application
+// case (§III.B step 1: "If the I/O system services more than one
+// application concurrently, we record the I/O access information of all
+// the applications"). It returns the combined report — B, T, and the
+// metrics over every application's accesses — plus one report per
+// application.
+//
+// Process IDs are globally unique across applications. Each process
+// gets its own file; on a cluster each file is striped over all servers.
+// MovedBytes in every report is the system-wide total: file-system-level
+// movement is not attributable to one application, which is exactly why
+// the paper gathers a global collection.
+func SimulateConcurrentApps(cfg RunConfig, apps ...AppSpec) (combined RunReport, perApp []RunReport, err error) {
+	if len(apps) == 0 {
+		return RunReport{}, nil, fmt.Errorf("bps: no applications given")
+	}
+	e := sim.NewEngine(cfg.Seed)
+
+	// Shared infrastructure.
+	var cluster *pfs.Cluster
+	var localFS *fsim.FileSystem
+	if cfg.Storage.Servers > 0 {
+		cluster, _ = testbed.NewCluster(e, testbed.ClusterSpec{
+			Servers: cfg.Storage.Servers,
+			Media:   cfg.Storage.Media,
+			Clients: 0,
+		})
+	} else {
+		localFS = fsim.New(e, testbed.NewDevice(e, cfg.Storage.Media), fsim.Config{Name: "local"})
+	}
+	moved := func() int64 {
+		if cluster != nil {
+			return cluster.Moved()
+		}
+		return localFS.Moved()
+	}
+
+	var pendings []*workload.Pending
+	firstPID := int64(0)
+	for ai, app := range apps {
+		if app.Processes < 1 || app.BytesPerProcess <= 0 || app.RecordSize <= 0 {
+			return RunReport{}, nil, fmt.Errorf("bps: app %q: processes, bytes and record size must be positive", app.Name)
+		}
+		env, err := appEnv(e, cluster, localFS, ai, app)
+		if err != nil {
+			return RunReport{}, nil, fmt.Errorf("bps: app %q: %w", app.Name, err)
+		}
+		w := workload.SeqRead{
+			Label:           app.Name,
+			Processes:       app.Processes,
+			BytesPerProcess: app.BytesPerProcess,
+			RecordSize:      app.RecordSize,
+			ComputePerOp:    app.ComputePerOp,
+			FirstPID:        firstPID,
+		}
+		firstPID += int64(app.Processes)
+		pend, err := w.Start(e, env)
+		if err != nil {
+			return RunReport{}, nil, fmt.Errorf("bps: app %q: %w", app.Name, err)
+		}
+		pendings = append(pendings, pend)
+	}
+	if err := e.Run(); err != nil {
+		return RunReport{}, nil, fmt.Errorf("bps: simulation: %w", err)
+	}
+	e.Shutdown()
+
+	var allRecords []Record
+	var errs int
+	for _, pend := range pendings {
+		res := pend.Result()
+		perApp = append(perApp, RunReport{
+			Metrics: core.Compute(res.Trace, moved(), res.ExecTime),
+			Records: res.Trace.Records(),
+			Errors:  res.Errors,
+		})
+		allRecords = append(allRecords, res.Trace.Records()...)
+		errs += res.Errors
+	}
+	combined = RunReport{
+		Metrics: ComputeMetrics(allRecords, moved(), e.Now()),
+		Records: allRecords,
+		Errors:  errs,
+	}
+	return combined, perApp, nil
+}
+
+// appEnv builds application ai's private files and clients on the
+// shared infrastructure.
+func appEnv(e *sim.Engine, cluster *pfs.Cluster, localFS *fsim.FileSystem, ai int, app AppSpec) (workload.Env, error) {
+	if cluster != nil {
+		env := &workload.ClusterEnv{Cluster: cluster}
+		for i := 0; i < app.Processes; i++ {
+			f, err := cluster.Create(fmt.Sprintf("app%d.file%d", ai, i), app.BytesPerProcess, cluster.DefaultLayout())
+			if err != nil {
+				return nil, err
+			}
+			env.Files = append(env.Files, f)
+			env.Clients = append(env.Clients, cluster.NewClient(fmt.Sprintf("app%d.cn%d", ai, i)))
+		}
+		return env, nil
+	}
+	env := &workload.LocalEnv{FS: localFS}
+	for i := 0; i < app.Processes; i++ {
+		f, err := localFS.Create(fmt.Sprintf("app%d.file%d", ai, i), app.BytesPerProcess)
+		if err != nil {
+			return nil, err
+		}
+		env.Files = append(env.Files, f)
+	}
+	return env, nil
+}
+
+// simulate builds the configured stack on a fresh engine and runs w.
+func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w workload.Runner) (RunReport, error) {
+	if procs < 1 {
+		return RunReport{}, fmt.Errorf("bps: procs %d < 1", procs)
+	}
+	e := sim.NewEngine(cfg.Seed)
+	var env workload.Env
+	var err error
+	switch {
+	case cfg.Storage.Servers == 0:
+		if cfg.Storage.FaultEvery > 0 {
+			dev := device.NewFaultInjector(testbed.NewDevice(e, cfg.Storage.Media), cfg.Storage.FaultEvery)
+			env, err = testbed.NewLocalEnvOn(e, dev, procs, perProcBytes)
+		} else {
+			env, err = testbed.NewLocalEnv(e, cfg.Storage.Media, procs, perProcBytes)
+		}
+	case cfg.Storage.SharedFile:
+		env, err = testbed.NewSharedFileEnv(e, testbed.ClusterSpec{
+			Servers: cfg.Storage.Servers,
+			Media:   cfg.Storage.Media,
+			Clients: procs,
+		}, totalBytes)
+	default:
+		env, err = testbed.NewPinnedFilesEnv(e, testbed.ClusterSpec{
+			Servers: cfg.Storage.Servers,
+			Media:   cfg.Storage.Media,
+			Clients: procs,
+		}, perProcBytes)
+	}
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bps: building storage: %w", err)
+	}
+	res, err := w.Run(e, env)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bps: running workload: %w", err)
+	}
+	e.Shutdown()
+	return RunReport{
+		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
+		Records: res.Trace.Records(),
+		Errors:  res.Errors,
+	}, nil
+}
+
+// ReplayTrace re-issues a recorded trace (from any source: a prior
+// simulation, iogen, or imported blkparse output) against the configured
+// storage stack, returning what the same access pattern would have
+// measured there. Sizes, per-process ordering, concurrency structure,
+// and think gaps are preserved; physical placement is synthesized
+// sequentially per process because the paper's 32-byte record carries no
+// offsets.
+func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
+	if len(records) == 0 {
+		return RunReport{}, fmt.Errorf("bps: empty trace")
+	}
+	w := workload.Replay{Label: "replay", Records: records}
+	sizes := w.PIDBytes()
+	pids := make([]int64, 0, len(sizes))
+	for pid := range sizes {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	e := sim.NewEngine(cfg.Seed)
+	var env workload.Env
+	if cfg.Storage.Servers > 0 {
+		cluster, _ := testbed.NewCluster(e, testbed.ClusterSpec{
+			Servers: cfg.Storage.Servers,
+			Media:   cfg.Storage.Media,
+		})
+		cenv := &workload.ClusterEnv{Cluster: cluster}
+		for slot, pid := range pids {
+			f, err := cluster.Create(fmt.Sprintf("replay%d", slot), sizes[pid], cluster.DefaultLayout())
+			if err != nil {
+				return RunReport{}, fmt.Errorf("bps: replay: %w", err)
+			}
+			cenv.Files = append(cenv.Files, f)
+			cenv.Clients = append(cenv.Clients, cluster.NewClient(fmt.Sprintf("replay.cn%d", slot)))
+		}
+		env = cenv
+	} else {
+		fs := fsim.New(e, testbed.NewDevice(e, cfg.Storage.Media), fsim.Config{Name: "replay"})
+		lenv := &workload.LocalEnv{FS: fs}
+		for slot, pid := range pids {
+			f, err := fs.Create(fmt.Sprintf("replay%d", slot), sizes[pid])
+			if err != nil {
+				return RunReport{}, fmt.Errorf("bps: replay: %w", err)
+			}
+			lenv.Files = append(lenv.Files, f)
+		}
+		env = lenv
+	}
+	res, err := w.Run(e, env)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bps: replay: %w", err)
+	}
+	e.Shutdown()
+	return RunReport{
+		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
+		Records: res.Trace.Records(),
+		Errors:  res.Errors,
+	}, nil
+}

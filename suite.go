@@ -1,0 +1,73 @@
+package bps
+
+import (
+	"io"
+
+	"bps/internal/experiments"
+	"bps/internal/report"
+	"bps/internal/stats"
+)
+
+// ExperimentParams controls the paper-reproduction suite's scale and
+// seed. The zero value means 1/64 of the paper's data volume, seed 42.
+type ExperimentParams = experiments.Params
+
+// Figure is the reproduction of one paper figure: per-run measurements
+// plus, for CC figures, the normalized correlation coefficients.
+type Figure = experiments.Figure
+
+// Suite reproduces the paper's evaluation with memoized sweeps.
+type Suite = experiments.Suite
+
+// FigureIDs lists every reproducible figure ("fig4" … "fig12") in paper
+// order.
+var FigureIDs = experiments.FigureIDs
+
+// NewSuite returns a reproduction suite with the given parameters.
+func NewSuite(p ExperimentParams) *Suite { return experiments.NewSuite(p) }
+
+// Robustness summarizes a figure's CC values across several seeds.
+type Robustness = experiments.Robustness
+
+// RunRobustness reruns a CC figure under nseeds independent seeds and
+// reports per-metric CC ranges and sign stability — the check that a
+// conclusion does not hinge on one lucky seed.
+func RunRobustness(p ExperimentParams, figureID string, nseeds int) (Robustness, error) {
+	return experiments.RunRobustness(p, figureID, nseeds)
+}
+
+// Pearson computes the correlation coefficient between two series (paper
+// equation 2); NaN when undefined.
+func Pearson(x, y []float64) float64 { return stats.Pearson(x, y) }
+
+// Spearman computes the rank correlation coefficient — the monotone
+// relationship the paper's direction argument relies on, robust to the
+// hyperbolic metric/time relation that depresses Pearson on wide sweeps.
+func Spearman(x, y []float64) float64 { return stats.Spearman(x, y) }
+
+// LatencyDist summarizes per-access response times (quantiles,
+// histogram) — the distribution whose mean is ARPT.
+type LatencyDist = stats.LatencyDist
+
+// NewLatencyDist builds a response-time distribution from records.
+func NewLatencyDist(records []Record) LatencyDist { return stats.NewLatencyDist(records) }
+
+// NormalizedCC applies the paper's presentation convention: +|CC| when
+// the measured sign matches the metric's expected direction (Table 1),
+// −|CC| otherwise.
+func NormalizedCC(cc float64, kind MetricKind) float64 {
+	return stats.NormalizedCC(cc, kind.ExpectedDirection())
+}
+
+// WriteFigure renders one reproduced figure as a plain-text table.
+func WriteFigure(w io.Writer, f Figure) { report.WriteFigure(w, f) }
+
+// WriteTable1 renders the paper's Table 1 (expected CC directions).
+func WriteTable1(w io.Writer) { report.WriteTable1(w) }
+
+// WriteTable2 renders the paper's Table 2 (experiment sets).
+func WriteTable2(w io.Writer) { report.WriteTable2(w) }
+
+// WriteSummary renders the cross-experiment mean normalized CC per
+// metric (paper §IV.C.5).
+func WriteSummary(w io.Writer, figs []Figure) { report.WriteSummary(w, figs) }
