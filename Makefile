@@ -1,0 +1,22 @@
+# Convenience targets mirroring the CI pipeline.
+
+.PHONY: all vet build test race bench ci
+
+all: ci
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run xxx -bench . ./...
+
+ci: vet build race

@@ -15,11 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"bps/internal/experiments"
+	"bps/internal/obs"
 	"bps/internal/report"
+	"bps/internal/sim"
 )
 
 func main() {
@@ -29,6 +32,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress timing chatter")
 	asCSV := flag.Bool("csv", false, "emit per-run rows (and cc rows) as CSV instead of tables")
 	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
+	traceOut := flag.String("trace-out", "", "write the last reproduced run as Chrome trace-event JSON here")
+	metricsOut := flag.String("metrics-out", "", "write the last reproduced run's per-layer metrics as CSV here")
 	flag.Parse()
 
 	if *seeds > 0 {
@@ -41,22 +46,69 @@ func main() {
 		return
 	}
 
-	if *asCSV {
-		if err := runCSV(*fig, *scale, *seed, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "bpsbench:", err)
-			os.Exit(1)
-		}
-		return
+	suite := experiments.NewSuite(experiments.Params{Scale: *scale, Seed: *seed})
+	if *traceOut != "" || *metricsOut != "" {
+		suite.SetObserve(&obs.Options{
+			ChromeTrace: *traceOut != "",
+			SampleEvery: sim.Millisecond,
+		})
 	}
-	if err := run(*fig, *scale, *seed, *quiet); err != nil {
+
+	var err error
+	if *asCSV {
+		err = runCSV(suite, *fig, *quiet)
+	} else {
+		err = run(suite, *fig, *quiet)
+	}
+	if err == nil {
+		err = writeObservation(suite, *traceOut, *metricsOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, scale float64, seed int64, quiet bool) error {
+// writeObservation exports the last instrumented run's Chrome trace
+// and/or per-layer metrics CSV.
+func writeObservation(suite *experiments.Suite, traceOut, metricsOut string) error {
+	if traceOut == "" && metricsOut == "" {
+		return nil
+	}
+	last := suite.LastObservation()
+	if last == nil {
+		return fmt.Errorf("-trace-out/-metrics-out: no run was reproduced (tables only?)")
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		if err := write(traceOut, last.Obs.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote Chrome trace of run %q to %s]\n", last.Label, traceOut)
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, func(f io.Writer) error {
+			return report.WriteObsCSV(f, last.Obs.Registry())
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote per-layer metrics of run %q to %s]\n", last.Label, metricsOut)
+	}
+	return nil
+}
+
+func run(suite *experiments.Suite, fig string, quiet bool) error {
 	out := os.Stdout
-	suite := experiments.NewSuite(experiments.Params{Scale: scale, Seed: seed})
 
 	switch fig {
 	case "table1":
@@ -99,8 +151,7 @@ func run(fig string, scale float64, seed int64, quiet bool) error {
 
 // runCSV emits machine-readable rows for one figure (or every figure
 // when fig is "all").
-func runCSV(fig string, scale float64, seed int64, quiet bool) error {
-	suite := experiments.NewSuite(experiments.Params{Scale: scale, Seed: seed})
+func runCSV(suite *experiments.Suite, fig string, quiet bool) error {
 	ids := []string{fig}
 	if fig == "all" {
 		ids = append(append([]string{}, experiments.FigureIDs...), experiments.ExtensionIDs...)

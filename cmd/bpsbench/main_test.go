@@ -21,14 +21,16 @@ func TestRunTables(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("fig99", 1.0/1024, 1, true); err == nil {
+	suite := experiments.NewSuite(experiments.Params{Scale: 1.0 / 1024, Seed: 1})
+	if err := run(suite, "fig99", true); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunSingleFigureTiny(t *testing.T) {
 	// A tiny-scale single figure exercises the full pipeline.
-	if err := run("fig5", 1.0/2048, 1, true); err != nil {
+	suite := experiments.NewSuite(experiments.Params{Scale: 1.0 / 2048, Seed: 1})
+	if err := run(suite, "fig5", true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -15,6 +15,21 @@
 // optimization-induced extra movement assumed); when -exec is omitted,
 // the trace span (first start to last end) stands in for application
 // execution time.
+//
+// Observability outputs:
+//
+//	bpstrace -trace-out out.json trace.bin
+//	    exports the application accesses as Chrome trace-event JSON
+//	    (open in Perfetto or chrome://tracing): one timeline row per
+//	    process, one slice per access.
+//
+//	bpstrace -replay hddx4 -trace-out out.json -metrics-out metrics.csv trace.bin
+//	    replays the trace on a simulated four-server HDD cluster with the
+//	    observability subsystem attached; out.json then also contains the
+//	    per-layer spans (pfs request handling, network transfers, device
+//	    service) underneath the application rows, and metrics.csv holds
+//	    the per-layer metric registry (counters, histograms, utilization
+//	    probes).
 package main
 
 import (
@@ -28,6 +43,8 @@ import (
 	"strings"
 
 	"bps"
+	"bps/internal/report"
+	"bps/internal/sim"
 )
 
 func main() {
@@ -38,6 +55,8 @@ func main() {
 	window := flag.Float64("window", 0, "also print a windowed time series with this window in seconds")
 	latency := flag.Bool("latency", false, "also print the response-time distribution and histogram")
 	replay := flag.String("replay", "", "also replay the trace on a simulated stack: hdd, ssd, hddxN, or ssdxN (N servers)")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (per-layer spans when combined with -replay)")
+	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires -replay)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -53,6 +72,8 @@ func main() {
 		windowSeconds: *window,
 		latency:       *latency,
 		replay:        *replay,
+		traceOut:      *traceOut,
+		metricsOut:    *metricsOut,
 	}
 	if err := run(os.Stdout, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "bpstrace:", err)
@@ -69,6 +90,8 @@ type options struct {
 	windowSeconds float64
 	latency       bool
 	replay        string
+	traceOut      string
+	metricsOut    string
 }
 
 func run(w io.Writer, files []string, opts options) error {
@@ -112,28 +135,74 @@ func run(w io.Writer, files []string, opts options) error {
 		fmt.Fprintf(w, "[%s]\n", d)
 		fmt.Fprint(w, d.Histogram(40))
 	}
+	if opts.metricsOut != "" && opts.replay == "" {
+		return fmt.Errorf("-metrics-out needs -replay: per-layer metrics only exist for a simulated run")
+	}
 	if opts.replay != "" {
-		if err := printReplay(w, records, opts.replay); err != nil {
+		if err := printReplay(w, records, opts); err != nil {
 			return err
 		}
+	} else if opts.traceOut != "" {
+		// No simulation: export the application accesses themselves.
+		if err := writeFile(opts.traceOut, func(f io.Writer) error {
+			return bps.WriteChromeTrace(f, records)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote Chrome trace (app layer) to %s\n", opts.traceOut)
 	}
 	return nil
 }
 
+// writeFile creates name and runs fn on it, closing carefully.
+func writeFile(name string, fn func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return f.Close()
+}
+
 // printReplay re-runs the trace on a simulated stack and prints the
-// what-if metrics.
-func printReplay(w io.Writer, records []bps.Record, stack string) error {
-	storage, err := parseStack(stack)
+// what-if metrics; with -trace-out/-metrics-out it attaches the
+// observability subsystem and writes the collected data.
+func printReplay(w io.Writer, records []bps.Record, opts options) error {
+	storage, err := parseStack(opts.replay)
 	if err != nil {
 		return err
 	}
-	rep, err := bps.ReplayTrace(bps.RunConfig{Storage: storage, Seed: 1}, records)
+	cfg := bps.RunConfig{Storage: storage, Seed: 1}
+	if opts.traceOut != "" || opts.metricsOut != "" {
+		cfg.Observe = &bps.ObserveOptions{
+			ChromeTrace: opts.traceOut != "",
+			SampleEvery: sim.Millisecond,
+		}
+	}
+	rep, err := bps.ReplayTrace(cfg, records)
 	if err != nil {
 		return err
 	}
-	printMetrics(w, "replayed on "+stack, rep.Metrics)
+	printMetrics(w, "replayed on "+opts.replay, rep.Metrics)
 	if rep.Errors > 0 {
 		fmt.Fprintf(w, "  (%d replayed accesses failed)\n", rep.Errors)
+	}
+	if opts.traceOut != "" {
+		if err := writeFile(opts.traceOut, rep.Obs.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote Chrome trace (app + sim layers) to %s\n", opts.traceOut)
+	}
+	if opts.metricsOut != "" {
+		if err := writeFile(opts.metricsOut, func(f io.Writer) error {
+			return report.WriteObsCSV(f, rep.Obs.Registry())
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote per-layer metrics to %s\n", opts.metricsOut)
 	}
 	return nil
 }

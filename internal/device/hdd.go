@@ -65,6 +65,7 @@ type HDD struct {
 	cfg  HDDConfig
 	head *sim.Resource
 	rng  randSource
+	ins  instruments
 
 	headPos int64 // byte offset just past the last serviced request
 	stats   Stats
@@ -89,11 +90,13 @@ func NewHDD(e *sim.Engine, cfg HDDConfig) *HDD {
 	if cfg.WritePenalty < 1 {
 		cfg.WritePenalty = 1
 	}
-	return &HDD{
+	d := &HDD{
 		cfg:  cfg,
 		head: e.NewResource(cfg.Name+".head", 1),
 		rng:  e.Rand(),
 	}
+	d.ins = newInstruments(e, cfg.Name, d.head)
+	return d
 }
 
 // Name implements Device.
@@ -165,14 +168,18 @@ func (d *HDD) serviceTime(req Request) sim.Time {
 func (d *HDD) Access(p *sim.Proc, req Request) error {
 	if err := req.Validate(d.cfg.Capacity); err != nil {
 		d.stats.Errors++
+		d.ins.errors.Add(1)
 		return err
 	}
+	sp := d.ins.begin(p, req) // span covers queueing + service
 	d.head.Acquire(p)
 	svc := d.serviceTime(req)
 	p.Sleep(svc)
 	d.headPos = req.End()
 	d.account(req)
 	d.head.Release()
+	d.ins.done(req, svc)
+	sp.End()
 	return nil
 }
 

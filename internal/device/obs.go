@@ -1,0 +1,74 @@
+package device
+
+import (
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
+
+// instruments bundles one device's observability handles. The zero value
+// (and any instruments built on an unobserved engine) is inert: every
+// handle is nil and nil-safe, so Access paths call them unconditionally.
+type instruments struct {
+	o    *obs.Observer
+	name string
+
+	svcNS        *obs.Histogram // per-request service time, ns
+	reqBytes     *obs.Histogram // per-request size, bytes
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	errors       *obs.Counter
+
+	spanRead, spanWrite string // precomputed span names
+}
+
+// newInstruments registers the device's metrics and (when res is
+// non-nil) utilization/queue-depth probes derived from its admission
+// resource.
+func newInstruments(e *sim.Engine, name string, res *sim.Resource) instruments {
+	o := obs.Get(e)
+	reg := o.Registry()
+	base := "device/" + name + "/"
+	ins := instruments{
+		o:            o,
+		name:         name,
+		svcNS:        reg.Histogram(base + "service_ns"),
+		reqBytes:     reg.Histogram(base + "request_bytes"),
+		bytesRead:    reg.Counter(base + "bytes_read"),
+		bytesWritten: reg.Counter(base + "bytes_written"),
+		errors:       reg.Counter(base + "errors"),
+		spanRead:     name + " read",
+		spanWrite:    name + " write",
+	}
+	if res != nil && reg != nil {
+		reg.Probe(base+"utilization", func() float64 { return res.Utilization(e.Now()) })
+		reg.Probe(base+"queue_depth", func() float64 { return float64(res.QueueLen()) })
+	}
+	return ins
+}
+
+// begin opens a device-layer span for req in p's timeline; the returned
+// span is inert when tracing is off.
+func (ins *instruments) begin(p *sim.Proc, req Request) obs.Span {
+	if !ins.o.Tracing() {
+		return obs.Span{}
+	}
+	name := ins.spanRead
+	if req.Write {
+		name = ins.spanWrite
+	}
+	return ins.o.Begin(p, "device", name, map[string]any{
+		"offset": req.Offset, "size": req.Size,
+	})
+}
+
+// done records the completed request's metrics: service duration
+// (queueing excluded) and moved bytes.
+func (ins *instruments) done(req Request, svc sim.Time) {
+	ins.svcNS.Observe(int64(svc))
+	ins.reqBytes.Observe(req.Size)
+	if req.Write {
+		ins.bytesWritten.Add(req.Size)
+	} else {
+		ins.bytesRead.Add(req.Size)
+	}
+}

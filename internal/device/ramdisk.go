@@ -14,6 +14,7 @@ type RAMDisk struct {
 	rate     float64
 	stats    Stats
 	busy     *sim.Resource
+	ins      instruments
 }
 
 // ramConcurrency caps concurrent RAM-disk accesses; effectively unbounded
@@ -26,13 +27,15 @@ func NewRAMDisk(e *sim.Engine, name string, capacity int64, latency sim.Time, ra
 	if capacity <= 0 || rate <= 0 {
 		panic("device: invalid RAMDisk config")
 	}
-	return &RAMDisk{
+	d := &RAMDisk{
 		name:     name,
 		capacity: capacity,
 		latency:  latency,
 		rate:     rate,
 		busy:     e.NewResource(name+".mem", ramConcurrency),
 	}
+	d.ins = newInstruments(e, name, d.busy)
+	return d
 }
 
 // Name implements Device.
@@ -51,10 +54,13 @@ func (d *RAMDisk) BusyTime() sim.Time { return d.busy.BusyTime() }
 func (d *RAMDisk) Access(p *sim.Proc, req Request) error {
 	if err := req.Validate(d.capacity); err != nil {
 		d.stats.Errors++
+		d.ins.errors.Add(1)
 		return err
 	}
+	sp := d.ins.begin(p, req)
 	d.busy.Acquire(p)
-	p.Sleep(d.latency + sim.TransferTime(req.Size, d.rate))
+	svc := d.latency + sim.TransferTime(req.Size, d.rate)
+	p.Sleep(svc)
 	if req.Write {
 		d.stats.Writes++
 		d.stats.BytesWritten += req.Size
@@ -63,6 +69,8 @@ func (d *RAMDisk) Access(p *sim.Proc, req Request) error {
 		d.stats.BytesRead += req.Size
 	}
 	d.busy.Release()
+	d.ins.done(req, svc)
+	sp.End()
 	return nil
 }
 

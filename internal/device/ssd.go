@@ -59,6 +59,7 @@ func DefaultSSD() SSDConfig {
 type SSD struct {
 	cfg      SSDConfig
 	channels *sim.Resource
+	ins      instruments
 	stats    Stats
 
 	nandWritten int64 // physical bytes programmed (amplified)
@@ -78,10 +79,12 @@ func NewSSD(e *sim.Engine, cfg SSDConfig) *SSD {
 	if cfg.WriteAmplification < 1 {
 		cfg.WriteAmplification = 1
 	}
-	return &SSD{
+	d := &SSD{
 		cfg:      cfg,
 		channels: e.NewResource(cfg.Name+".channels", cfg.Channels),
 	}
+	d.ins = newInstruments(e, cfg.Name, d.channels)
+	return d
 }
 
 // NANDWritten returns the physical bytes programmed, including the
@@ -141,11 +144,14 @@ func (d *SSD) amplified(size int64) int64 {
 func (d *SSD) Access(p *sim.Proc, req Request) error {
 	if err := req.Validate(d.cfg.Capacity); err != nil {
 		d.stats.Errors++
+		d.ins.errors.Add(1)
 		return err
 	}
 	k := d.fanout(req.Size)
+	sp := d.ins.begin(p, req) // span covers channel wait + service
 	d.channels.AcquireN(p, k)
-	p.Sleep(d.serviceTime(req, k))
+	svc := d.serviceTime(req, k)
+	p.Sleep(svc)
 	if req.Write {
 		nand := d.amplified(req.Size)
 		d.nandWritten += nand
@@ -153,6 +159,8 @@ func (d *SSD) Access(p *sim.Proc, req Request) error {
 	}
 	d.account(req)
 	d.channels.ReleaseN(k)
+	d.ins.done(req, svc)
+	sp.End()
 	d.maybeGC(p)
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"bps/internal/core"
+	"bps/internal/obs"
 	"bps/internal/stats"
 )
 
@@ -99,8 +100,16 @@ var FigureIDs = []string{
 // Suite runs experiments with memoized sweeps, so detail figures reuse
 // the runs of their CC figures (Fig. 7 reuses Fig. 5's sweep, etc.).
 type Suite struct {
-	params Params
-	memo   map[string][]Point
+	params  Params
+	memo    map[string][]Point
+	observe *obs.Options
+	lastObs *Observation
+}
+
+// Observation is the observability data of one instrumented run.
+type Observation struct {
+	Label string // the sweep point's label
+	Obs   *obs.Observer
 }
 
 // NewSuite returns a suite with the given parameters.
@@ -110,6 +119,17 @@ func NewSuite(p Params) *Suite {
 
 // Params returns the suite's effective parameters.
 func (s *Suite) Params() Params { return s.params }
+
+// SetObserve attaches the observability subsystem (with the given
+// options) to every subsequent run; nil turns it back off. Observation
+// never changes measured results — it exists so a reproduced figure's
+// final run can be exported as a Chrome trace or per-layer metrics.
+func (s *Suite) SetObserve(opts *obs.Options) { s.observe = opts }
+
+// LastObservation returns the observability data of the most recent
+// instrumented run, or nil when no run has been observed. Memoized
+// sweeps do not rerun, so reproduce the figure of interest first.
+func (s *Suite) LastObservation() *Observation { return s.lastObs }
 
 // sweep memoizes a named sweep.
 func (s *Suite) sweep(key string, run func() ([]Point, error)) ([]Point, error) {

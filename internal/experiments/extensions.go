@@ -49,7 +49,7 @@ func (s *Suite) ext1() (Figure, error) {
 			if win > 0 {
 				label = sizeLabel(win)
 			}
-			pt, err := runPoint(seed+int64(i), label, func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), label, func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, hdd, 1, fileSize)
 				return env, w, err
 			})
@@ -92,7 +92,7 @@ func (s *Suite) ext2() (Figure, error) {
 				RecordSize:      record,
 				Write:           true,
 			}
-			pt, err := runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := testbed.NewLocalEnvOn(e, testbed.NewFTLSSD(e), 1, fileSize)
 				return env, w, err
 			})
@@ -144,7 +144,7 @@ func (s *Suite) ext3() (Figure, error) {
 				Method:       method,
 			}
 			fileSize := w.RequiredBytes()
-			pt, err := runPoint(seed+int64(i), method.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), method.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, hdd, 1, fileSize)
 				return env, w, err
 			})

@@ -33,7 +33,7 @@ func (s *Suite) set1() ([]Point, error) {
 
 		for _, k := range []storageKind{hdd, ssd} {
 			k := k
-			pt, err := runPoint(seed, "local-"+k.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed, "local-"+k.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, k, 1, fileSize)
 				return env, w, err
 			})
@@ -45,7 +45,7 @@ func (s *Suite) set1() ([]Point, error) {
 		}
 		for _, n := range []int{1, 2, 4, 8} {
 			n := n
-			pt, err := runPoint(seed, fmt.Sprintf("pvfs-%ds", n), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed, fmt.Sprintf("pvfs-%ds", n), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: n, Media: hdd, Clients: 1}, fileSize)
 				return env, w, err
 			})
@@ -76,7 +76,7 @@ func (s *Suite) set2(k storageKind) ([]Point, error) {
 				BytesPerProcess: fileSize,
 				RecordSize:      record,
 			}
-			pt, err := runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, k, 1, fileSize)
 				return env, w, err
 			})
@@ -110,7 +110,7 @@ func (s *Suite) set3a() ([]Point, error) {
 				BytesPerProcess: perProc,
 				RecordSize:      record,
 			}
-			pt, err := runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newPinnedFilesEnv(e, clusterSpec{Servers: 8, Media: hdd, Clients: procs}, perProc)
 				return env, w, err
 			})
@@ -147,7 +147,7 @@ func (s *Suite) set3b() ([]Point, error) {
 				UseMPIIO:        true,
 				StartOffset:     func(pid int) int64 { return int64(pid) * segment },
 			}
-			pt, err := runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: 8, Media: hdd, Clients: procs}, fileSize)
 				return env, w, err
 			})
@@ -193,7 +193,7 @@ func (s *Suite) set4() ([]Point, error) {
 			}
 			span := w.Span() + w.RegionSpacing
 			fileSize := span * procs
-			pt, err := runPoint(seed+int64(i), fmt.Sprintf("gap%dB", spacing), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("gap%dB", spacing), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: 4, Media: hdd, Clients: procs}, fileSize)
 				return env, w, err
 			})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bps/internal/core"
+	"bps/internal/obs"
 	"bps/internal/sim"
 	"bps/internal/testbed"
 	"bps/internal/workload"
@@ -37,9 +38,15 @@ func newPinnedFilesEnv(e *sim.Engine, spec clusterSpec, filePerProc int64) (*wor
 }
 
 // runPoint executes one workload run on a fresh engine and converts the
-// result into a sweep point.
-func runPoint(seed int64, label string, build func(e *sim.Engine) (workload.Env, workload.Runner, error)) (Point, error) {
+// result into a sweep point. When the suite has an observe configuration
+// (SetObserve), the run is instrumented and its observer retained as the
+// suite's last observation.
+func (s *Suite) runPoint(seed int64, label string, build func(e *sim.Engine) (workload.Env, workload.Runner, error)) (Point, error) {
 	e := sim.NewEngine(seed)
+	var ob *obs.Observer
+	if s.observe != nil {
+		ob = obs.Attach(e, *s.observe)
+	}
 	env, w, err := build(e)
 	if err != nil {
 		return Point{}, fmt.Errorf("run %s: %w", label, err)
@@ -49,6 +56,12 @@ func runPoint(seed int64, label string, build func(e *sim.Engine) (workload.Env,
 		return Point{}, fmt.Errorf("run %s: %w", label, err)
 	}
 	e.Shutdown() // unwind server daemons so sweeps don't accumulate goroutines
+	if ob != nil {
+		for _, r := range res.Trace.Records() {
+			ob.AddAppRecord(r.PID, r.Blocks, r.Start, r.End)
+		}
+		s.lastObs = &Observation{Label: label, Obs: ob}
+	}
 	return Point{
 		Label:   label,
 		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),

@@ -7,6 +7,7 @@
 package netsim
 
 import (
+	"bps/internal/obs"
 	"bps/internal/sim"
 )
 
@@ -59,6 +60,12 @@ type Fabric struct {
 	eng       *sim.Engine
 	cfg       Config
 	backplane *sim.Resource // nil when BackplaneRate is 0
+
+	// Observability handles; all nil-safe when the engine is unobserved.
+	o          *obs.Observer
+	transfers  *obs.Counter
+	bytes      *obs.Counter
+	transferNS *obs.Histogram
 }
 
 // NewFabric constructs a fabric on the engine.
@@ -66,6 +73,15 @@ func NewFabric(e *sim.Engine, cfg Config) *Fabric {
 	f := &Fabric{eng: e, cfg: cfg.withDefaults()}
 	if f.cfg.BackplaneRate > 0 {
 		f.backplane = e.NewResource("switch.backplane", 1)
+	}
+	f.o = obs.Get(e)
+	reg := f.o.Registry()
+	f.transfers = reg.Counter("net/fabric/transfers")
+	f.bytes = reg.Counter("net/fabric/bytes")
+	f.transferNS = reg.Histogram("net/fabric/transfer_ns")
+	if f.backplane != nil && reg != nil {
+		bp := f.backplane
+		reg.Probe("net/backplane/utilization", func() float64 { return bp.Utilization(e.Now()) })
 	}
 	return f
 }
@@ -86,12 +102,19 @@ type NIC struct {
 
 // NewNIC attaches a new NIC to the fabric.
 func (f *Fabric) NewNIC(name string) *NIC {
-	return &NIC{
+	n := &NIC{
 		fabric: f,
 		name:   name,
 		tx:     f.eng.NewResource(name+".tx", 1),
 		rx:     f.eng.NewResource(name+".rx", 1),
 	}
+	if reg := f.o.Registry(); reg != nil {
+		e := f.eng
+		tx, rx := n.tx, n.rx
+		reg.Probe("net/"+name+"/tx_util", func() float64 { return tx.Utilization(e.Now()) })
+		reg.Probe("net/"+name+"/rx_util", func() float64 { return rx.Utilization(e.Now()) })
+	}
+	return n
 }
 
 // Name returns the NIC name.
@@ -133,6 +156,11 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
 		p.Sleep(f.cfg.Latency / 10)
 		return
 	}
+	var sp obs.Span
+	if f.o.Tracing() {
+		sp = f.o.Begin(p, "net", src.name+"->"+dst.name, map[string]any{"bytes": size})
+	}
+	start := f.eng.Now()
 	ser := f.serialization(size)
 
 	src.tx.Acquire(p)
@@ -151,4 +179,9 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
 	p.Sleep(ser)
 	dst.rx.Release()
 	dst.received += size
+
+	f.transfers.Add(1)
+	f.bytes.Add(size)
+	f.transferNS.Observe(int64(f.eng.Now() - start))
+	sp.End()
 }

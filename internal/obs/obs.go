@@ -1,0 +1,243 @@
+// Package obs is the cross-layer observability subsystem of the
+// simulated I/O stack: a lightweight metrics registry (counters, gauges,
+// fixed-bucket log-scale histograms, and a periodic time-series sampler
+// driven by a simulation daemon), structured event hooks on the sim
+// engine (event dispatch, process lifecycle, resource admission), and a
+// Chrome trace-event exporter whose output loads in Perfetto or
+// chrome://tracing.
+//
+// The design goal is that uninstrumented runs pay nothing: every entry
+// point is nil-receiver-safe, the engine hooks are plain nil checks, and
+// attaching an observer never consumes simulated time — a run with
+// observability on produces bit-identical metrics to the same run with
+// it off.
+//
+// The BPS paper argues that single-number metrics hide where I/O time
+// goes; this package is the reproduction's answer for its own simulator.
+// Where the paper's Fig. 3 computes the overlapped union of
+// application-level access intervals, the observer records the per-layer
+// spans *inside* those intervals (device service, network transfer, PFS
+// request handling), so a BPS value can be decomposed into the layer
+// activity that produced it.
+package obs
+
+import (
+	"io"
+
+	"bps/internal/sim"
+)
+
+// Options configures an observer.
+type Options struct {
+	// ChromeTrace enables span and counter collection for the Chrome
+	// trace-event export.
+	ChromeTrace bool
+
+	// SampleEvery is the sampler daemon's tick interval; 0 disables the
+	// sampler.
+	SampleEvery sim.Time
+
+	// QueueCounters, when tracing, also emits per-resource in-use and
+	// queue-depth counter tracks on every resource state change. Rich but
+	// verbose; off by default.
+	QueueCounters bool
+}
+
+// Observer ties the pieces together for one engine: it implements
+// sim.Tracer for the structured engine hooks, owns the metrics registry
+// and optional trace buffer, and is the handle instrumented layers
+// (device, netsim, pfs) discover via Get. A nil *Observer is the no-op
+// default: every method is safe to call and does nothing.
+type Observer struct {
+	eng     *sim.Engine
+	reg     *Registry
+	buf     *TraceBuffer // nil when ChromeTrace is off
+	sampler *Sampler     // nil when SampleEvery is 0
+	opts    Options
+
+	// Engine-level metrics.
+	events       *Counter
+	procsStarted *Counter
+	procsEnded   *Counter
+
+	// Per-resource metric handles, cached so tracer callbacks do one map
+	// lookup by pointer instead of string formatting per event.
+	resources map[*sim.Resource]*resMetrics
+}
+
+// resMetrics caches one resource's metric handles.
+type resMetrics struct {
+	acquires *Counter
+	waitNS   *Histogram
+	inUse    string // counter-track names (QueueCounters)
+	queued   string
+}
+
+// Attach creates an observer, installs it as the engine's tracer, and
+// (per opts) starts the sampler daemon. Call it right after NewEngine,
+// before building the simulated stack, so component constructors find it
+// via Get.
+func Attach(e *sim.Engine, opts Options) *Observer {
+	o := &Observer{
+		eng:       e,
+		reg:       NewRegistry(),
+		opts:      opts,
+		resources: make(map[*sim.Resource]*resMetrics),
+	}
+	o.events = o.reg.Counter("sim/engine/events")
+	o.procsStarted = o.reg.Counter("sim/engine/procs_started")
+	o.procsEnded = o.reg.Counter("sim/engine/procs_ended")
+	if opts.ChromeTrace {
+		o.buf = NewTraceBuffer()
+	}
+	e.SetTracer(o)
+	if opts.SampleEvery > 0 {
+		o.sampler = o.reg.StartSampler(e, opts.SampleEvery)
+		if o.buf != nil {
+			o.sampler.onSample = func(name string, at sim.Time, v float64) {
+				o.buf.counter(name, at, v)
+			}
+		}
+	}
+	return o
+}
+
+// Get returns the observer attached to e, or nil when the engine is
+// uninstrumented. Component constructors call this once and keep the
+// (possibly nil) handle.
+func Get(e *sim.Engine) *Observer {
+	o, _ := e.GetTracer().(*Observer)
+	return o
+}
+
+// Registry returns the metrics registry (nil for a nil observer, which
+// the registry's own nil-safety absorbs).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Sampler returns the time-series sampler, or nil.
+func (o *Observer) Sampler() *Sampler {
+	if o == nil {
+		return nil
+	}
+	return o.sampler
+}
+
+// TraceBuffer returns the Chrome trace buffer, or nil.
+func (o *Observer) TraceBuffer() *TraceBuffer {
+	if o == nil {
+		return nil
+	}
+	return o.buf
+}
+
+// Tracing reports whether Chrome trace collection is enabled — use it to
+// guard span-name or argument construction.
+func (o *Observer) Tracing() bool { return o != nil && o.buf != nil }
+
+// Begin opens a span in p's timeline under category cat (the layer:
+// "device", "net", "pfs", ...). args may be nil; build it only when
+// Tracing() to keep uninstrumented paths allocation-free.
+func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Span {
+	if o == nil || o.buf == nil {
+		return Span{}
+	}
+	idx := o.buf.span(p, cat, name, o.eng.Now(), args)
+	return Span{o: o, idx: idx, ok: true}
+}
+
+// Counter emits a Chrome counter-track sample at the current simulated
+// time (distinct from Registry counters: this is a trace visualization).
+func (o *Observer) Counter(name string, v float64) {
+	if o == nil || o.buf == nil {
+		return
+	}
+	o.buf.counter(name, o.eng.Now(), v)
+}
+
+// AddAppRecord converts one gathered application trace record into an
+// "app" layer span, one Chrome thread per application PID. Records share
+// the simulation's timeline, so they align with the per-layer spans
+// below them.
+func (o *Observer) AddAppRecord(pid, blocks int64, start, end sim.Time) {
+	if o == nil || o.buf == nil {
+		return
+	}
+	o.buf.AppSpan(pid, blocks, start, end)
+}
+
+// WriteChromeTrace writes the collected Chrome trace-event JSON.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil || o.buf == nil {
+		return (&TraceBuffer{}).Write(w)
+	}
+	return o.buf.Write(w)
+}
+
+// --- sim.Tracer implementation -------------------------------------
+
+// EventDispatched implements sim.Tracer.
+func (o *Observer) EventDispatched(now sim.Time, nevents uint64) {
+	o.events.Add(1)
+}
+
+// ProcStarted implements sim.Tracer.
+func (o *Observer) ProcStarted(p *sim.Proc) {
+	o.procsStarted.Add(1)
+}
+
+// ProcEnded implements sim.Tracer.
+func (o *Observer) ProcEnded(p *sim.Proc) {
+	o.procsEnded.Add(1)
+}
+
+// resOf returns (creating on first sight) the cached handles for r.
+func (o *Observer) resOf(r *sim.Resource) *resMetrics {
+	if m, ok := o.resources[r]; ok {
+		return m
+	}
+	base := "resource/" + r.Name() + "/"
+	m := &resMetrics{
+		acquires: o.reg.Counter(base + "acquires"),
+		waitNS:   o.reg.Histogram(base + "wait_ns"),
+	}
+	if o.opts.QueueCounters && o.buf != nil {
+		m.inUse = r.Name() + " in_use"
+		m.queued = r.Name() + " queued"
+	}
+	o.resources[r] = m
+	return m
+}
+
+// ResourceQueued implements sim.Tracer.
+func (o *Observer) ResourceQueued(r *sim.Resource, p *sim.Proc, n int) {
+	m := o.resOf(r)
+	if m.queued != "" {
+		o.buf.counter(m.queued, o.eng.Now(), float64(r.QueueLen()))
+	}
+}
+
+// ResourceAcquired implements sim.Tracer.
+func (o *Observer) ResourceAcquired(r *sim.Resource, n int, waited sim.Time) {
+	m := o.resOf(r)
+	m.acquires.Add(1)
+	m.waitNS.Observe(int64(waited))
+	if m.inUse != "" {
+		o.buf.counter(m.inUse, o.eng.Now(), float64(r.InUse()))
+	}
+	if m.queued != "" && waited > 0 {
+		o.buf.counter(m.queued, o.eng.Now(), float64(r.QueueLen()))
+	}
+}
+
+// ResourceReleased implements sim.Tracer.
+func (o *Observer) ResourceReleased(r *sim.Resource, n int) {
+	m := o.resOf(r)
+	if m.inUse != "" {
+		o.buf.counter(m.inUse, o.eng.Now(), float64(r.InUse()))
+	}
+}

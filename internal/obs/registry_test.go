@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Bucket 0 is the underflow bucket.
+	if lo, hi := BucketBounds(0); lo != math.MinInt64 || hi != 0 {
+		t.Fatalf("bucket 0 bounds = [%d, %d]", lo, hi)
+	}
+	// Bucket i (1 ≤ i < 63) holds [2^(i−1), 2^i − 1].
+	for i := 1; i < HistBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != 1<<(i-1) || hi != 1<<i-1 {
+			t.Fatalf("bucket %d bounds = [%d, %d], want [%d, %d]",
+				i, lo, hi, 1<<(i-1), 1<<i-1)
+		}
+	}
+	// The top bucket absorbs everything up to MaxInt64.
+	if lo, hi := BucketBounds(HistBuckets - 1); lo != 1<<62 || hi != math.MaxInt64 {
+		t.Fatalf("top bucket bounds = [%d, %d]", lo, hi)
+	}
+
+	// Samples land exactly on their bucket's closed range.
+	h := &Histogram{}
+	for i := 1; i < HistBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		h.Observe(lo)
+		h.Observe(hi)
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.MaxInt64)
+	for _, b := range h.Buckets() {
+		for i := 0; i < HistBuckets; i++ {
+			lo, hi := BucketBounds(i)
+			if lo == b.Lo && hi == b.Hi {
+				goto found
+			}
+		}
+		t.Fatalf("bucket [%d, %d] matches no BucketBounds", b.Lo, b.Hi)
+	found:
+	}
+	if got := h.Buckets()[0]; got.Hi != 0 || got.Count != 2 {
+		t.Fatalf("underflow bucket = %+v", got)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21}, {math.MaxInt64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Sum() != 500500 || h.Max() != 1000 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Quantiles are bucket upper bounds: p50 of 1..1000 falls in
+	// [512, 1023] whose upper bound is clipped to the observed max.
+	if q := h.Quantile(0.5); q < 500 || q > 1000 {
+		t.Fatalf("p50 = %d", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want max", q)
+	}
+	if q := h.Quantile(0); q <= 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("x")
+	h.Observe(7)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	r.Probe("x", func() float64 { return 1 })
+	if r.Counters() != nil || r.Gauges() != nil || r.Histograms() != nil || r.Probes() != nil {
+		t.Fatal("nil registry returned sources")
+	}
+	if r.StartSampler(nil, 0) != nil {
+		t.Fatal("nil registry started a sampler")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("layer/comp/metric")
+	b := r.Counter("layer/comp/metric")
+	if a != b {
+		t.Fatal("same name gave distinct counters")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("handles not shared")
+	}
+	r.Counter("z")
+	r.Counter("a")
+	cs := r.Counters()
+	if len(cs) != 3 || cs[0].Name() != "a" || cs[2].Name() != "z" {
+		t.Fatalf("counters not sorted: %v", []string{cs[0].Name(), cs[1].Name(), cs[2].Name()})
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sort"
+
+	"bps/internal/sim"
+)
+
+// Series is one sampled time series: aligned timestamp/value slices.
+type Series struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
+}
+
+// Sampler is a periodic time-series collector: a simulation daemon that
+// wakes every interval (on background events, so it never extends the
+// run), evaluates every counter, gauge, and probe in the registry, and
+// appends the values to per-metric series. Sources registered after the
+// sampler starts are picked up at their first tick.
+type Sampler struct {
+	reg    *Registry
+	every  sim.Time
+	series map[string]*Series
+	order  []string
+
+	// onSample, when set, additionally receives every sampled value —
+	// the observer uses it to emit Chrome counter tracks.
+	onSample func(name string, at sim.Time, v float64)
+}
+
+// StartSampler spawns the sampler daemon on e, ticking every interval.
+// The daemon parks between ticks on background wake-ups: it samples only
+// while workload (foreground) events keep the simulation alive, and
+// Engine.Shutdown unwinds it like any other daemon.
+func (r *Registry) StartSampler(e *sim.Engine, every sim.Time) *Sampler {
+	if r == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = 10 * sim.Millisecond
+	}
+	s := &Sampler{reg: r, every: every, series: make(map[string]*Series)}
+	e.SpawnDaemon("obs.sampler", func(p *sim.Proc) {
+		for {
+			p.SleepBackground(every)
+			s.sample(p.Now())
+		}
+	})
+	return s
+}
+
+// Interval returns the sampling interval.
+func (s *Sampler) Interval() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// sample appends one data point per registered source at time now.
+func (s *Sampler) sample(now sim.Time) {
+	for _, c := range s.reg.Counters() {
+		s.record(c.Name(), now, float64(c.Value()))
+	}
+	for _, g := range s.reg.Gauges() {
+		s.record(g.Name(), now, g.Value())
+	}
+	for _, pr := range s.reg.Probes() {
+		s.record(pr.Name, now, pr.Fn())
+	}
+}
+
+func (s *Sampler) record(name string, now sim.Time, v float64) {
+	sr, ok := s.series[name]
+	if !ok {
+		sr = &Series{Name: name}
+		s.series[name] = sr
+		s.order = append(s.order, name)
+	}
+	sr.Times = append(sr.Times, now)
+	sr.Values = append(sr.Values, v)
+	if s.onSample != nil {
+		s.onSample(name, now, v)
+	}
+}
+
+// Series returns the collected series sorted by name.
+func (s *Sampler) Series() []*Series {
+	if s == nil {
+		return nil
+	}
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	out := make([]*Series, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.series[name])
+	}
+	return out
+}
+
+// SeriesByName returns one series (nil when absent).
+func (s *Sampler) SeriesByName(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	return s.series[name]
+}

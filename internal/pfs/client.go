@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bps/internal/netsim"
+	"bps/internal/obs"
 	"bps/internal/sim"
 )
 
@@ -30,6 +31,7 @@ func (cl *Client) Open(p *sim.Proc, name string) (*File, error) {
 	c.mds.svc.Acquire(p)
 	p.Sleep(c.cfg.MetadataService)
 	c.mds.ops++
+	c.mdsOps.Add(1)
 	c.mds.svc.Release()
 	f, err := c.Open(name)
 	// The reply travels back whether the lookup succeeded or not.
@@ -89,6 +91,18 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 		j.bytes += ch.size
 	}
 
+	cl.cluster.fanout.Observe(int64(len(jobs)))
+	var sp obs.Span
+	if cl.cluster.o.Tracing() {
+		name := "read"
+		if write {
+			name = "write"
+		}
+		sp = cl.cluster.o.Begin(p, "pfs", name, map[string]any{
+			"offset": off, "size": size, "fanout": len(jobs),
+		})
+	}
+
 	fabric := cl.cluster.fabric
 	for _, j := range jobs {
 		srv := cl.cluster.servers[f.layout.Servers[j.pieces[0].pos]]
@@ -108,6 +122,7 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 			firstErr = j.err
 		}
 	}
+	sp.End()
 	return firstErr
 }
 
@@ -116,6 +131,14 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 func (s *Server) worker(p *sim.Proc) {
 	for {
 		j := s.queue.Get(p).(*job)
+		s.requests.Add(1)
+		s.bytes.Add(j.bytes)
+		var sp obs.Span
+		if s.o.Tracing() {
+			sp = s.o.Begin(p, "pfs", s.serveName, map[string]any{
+				"bytes": j.bytes, "write": j.write,
+			})
+		}
 		for _, piece := range j.pieces {
 			lf := j.file.local[piece.pos]
 			var err error
@@ -135,6 +158,7 @@ func (s *Server) worker(p *sim.Proc) {
 			// Ack only.
 			j.file.cluster.fabric.Transfer(p, s.nic, j.client.nic, j.file.cluster.cfg.RequestMsgBytes)
 		}
+		sp.End()
 		j.done.Complete()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"bps/internal/device"
 	"bps/internal/fsim"
 	"bps/internal/netsim"
+	"bps/internal/obs"
 	"bps/internal/sim"
 )
 
@@ -64,6 +65,11 @@ type Cluster struct {
 	servers []*Server
 	files   map[string]*File
 	mds     *metadataServer
+
+	// Observability handles; all nil-safe when the engine is unobserved.
+	o      *obs.Observer
+	fanout *obs.Histogram // servers touched per client access
+	mdsOps *obs.Counter
 }
 
 // metadataServer services lookup/open RPCs, one at a time.
@@ -80,6 +86,12 @@ type Server struct {
 	nic   *netsim.NIC
 	fs    *fsim.FileSystem
 	queue *sim.Queue
+
+	// Observability handles; all nil-safe when the engine is unobserved.
+	o         *obs.Observer
+	requests  *obs.Counter
+	bytes     *obs.Counter
+	serveName string // precomputed span name
 }
 
 // ID returns the server's index within the cluster.
@@ -102,14 +114,30 @@ func NewCluster(e *sim.Engine, fabric *netsim.Fabric, cfg Config, devices []devi
 			svc: e.NewResource("mds.svc", 1),
 		},
 	}
+	c.o = obs.Get(e)
+	reg := c.o.Registry()
+	c.fanout = reg.Histogram("pfs/client/fanout")
+	c.mdsOps = reg.Counter("pfs/mds/ops")
+	if reg != nil {
+		svc := c.mds.svc
+		reg.Probe("pfs/mds/utilization", func() float64 { return svc.Utilization(e.Now()) })
+	}
 	for i, dev := range devices {
 		fscfg := cfg.ServerFS
 		fscfg.Name = fmt.Sprintf("ios%d.fs", i)
 		srv := &Server{
-			id:    i,
-			nic:   fabric.NewNIC(fmt.Sprintf("ios%d", i)),
-			fs:    fsim.New(e, dev, fscfg),
-			queue: e.NewQueue(),
+			id:        i,
+			nic:       fabric.NewNIC(fmt.Sprintf("ios%d", i)),
+			fs:        fsim.New(e, dev, fscfg),
+			queue:     e.NewQueue(),
+			o:         c.o,
+			requests:  reg.Counter(fmt.Sprintf("pfs/ios%d/requests", i)),
+			bytes:     reg.Counter(fmt.Sprintf("pfs/ios%d/bytes", i)),
+			serveName: fmt.Sprintf("ios%d serve", i),
+		}
+		if reg != nil {
+			q := srv.queue
+			reg.Probe(fmt.Sprintf("pfs/ios%d/queue_depth", i), func() float64 { return float64(q.Len()) })
 		}
 		c.servers = append(c.servers, srv)
 		for w := 0; w < cfg.ServerWorkers; w++ {

@@ -42,18 +42,18 @@ func WriteFigureCSV(w io.Writer, f experiments.Figure) error {
 			return err
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return err
-	}
 	if f.CC != nil {
+		// The cc rows carry the free-form figure title; going through the
+		// csv.Writer quotes any commas or quotes it contains.
 		for _, k := range core.Kinds {
-			if _, err := fmt.Fprintf(w, "cc,%s,%s,%s\n", f.ID, k, fmtFloat(f.CC.CC[k])); err != nil {
+			row := []string{"cc", f.ID, fmt.Sprint(k), fmtFloat(f.CC.CC[k]), f.Title}
+			if err := cw.Write(row); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 func fmtFloat(v float64) string {

@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventDispatch measures the per-event cost of the
+// calendar: a single self-rescheduling event chain dispatched b.N times.
+// With no tracer attached this is the uninstrumented hot path; the
+// allocation report guards against observability hooks adding per-event
+// allocations.
+func BenchmarkEngineEventDispatch(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, step)
+		}
+	}
+	e.At(0, step)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("dispatched %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkResourceAcquireRelease measures an uncontended acquire/release
+// pair on a capacity-1 resource from inside a simulation process.
+func BenchmarkResourceAcquireRelease(b *testing.B) {
+	e := NewEngine(1)
+	r := e.NewResource("bench", 1)
+	e.Spawn("bench", func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Acquire(p)
+			r.Release()
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got := r.Acquires(); got != uint64(b.N) {
+		b.Fatalf("acquires = %d, want %d", got, b.N)
+	}
+}

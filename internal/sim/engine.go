@@ -12,6 +12,7 @@ type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for events at the same time
 	fn  func()
+	bg  bool // background events do not keep the simulation alive
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -45,6 +46,11 @@ type Engine struct {
 	events  eventHeap
 	seq     uint64
 	nevents uint64
+	fg      int // scheduled foreground events still in the calendar
+
+	// tracer, when non-nil, observes event dispatch, process lifecycle,
+	// and resource admission. See Tracer.
+	tracer Tracer
 
 	// yield is the proc→engine handshake: whichever process goroutine is
 	// currently running signals on yield exactly once when it parks or
@@ -123,12 +129,17 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is an error in the simulation program and panics.
-func (e *Engine) At(t Time, fn func()) {
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn, false) }
+
+func (e *Engine) schedule(t Time, fn func(), bg bool) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	if !bg {
+		e.fg++
+	}
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, bg: bg})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -151,16 +162,23 @@ func (d *DeadlockError) Error() string {
 func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
 
 // RunUntil executes events with time ≤ deadline. Events beyond the
-// deadline remain in the calendar. It returns a *DeadlockError if the
-// calendar drains while processes are still blocked.
+// deadline remain in the calendar, as do background events pending once
+// the last foreground event has run. It returns a *DeadlockError if the
+// foreground calendar drains while processes are still blocked.
 func (e *Engine) RunUntil(deadline Time) error {
-	for len(e.events) > 0 {
+	for e.fg > 0 {
 		if e.events[0].at > deadline {
 			return nil
 		}
 		ev := heap.Pop(&e.events).(event)
+		if !ev.bg {
+			e.fg--
+		}
 		e.now = ev.at
 		e.nevents++
+		if e.tracer != nil {
+			e.tracer.EventDispatched(e.now, e.nevents)
+		}
 		ev.fn()
 	}
 	if len(e.live) > 0 {

@@ -55,6 +55,9 @@ func (e *Engine) spawn(t Time, name string, body func(*Proc), daemon bool) *Proc
 	e.procs[p] = struct{}{}
 	e.At(t, func() {
 		p.started = true
+		if e.tracer != nil {
+			e.tracer.ProcStarted(p)
+		}
 		go func() {
 			defer func() {
 				// A Shutdown kill unwinds silently; real panics from the
@@ -64,6 +67,10 @@ func (e *Engine) spawn(t Time, name string, body func(*Proc), daemon bool) *Proc
 					if _, ok := r.(killed); !ok {
 						e.trap = r
 					}
+				} else if e.tracer != nil {
+					// Safe: the engine is blocked on yield below, so the
+					// tracer still sees serialized calls.
+					e.tracer.ProcEnded(p)
 				}
 				delete(e.live, p) // safe: engine is blocked on yield below
 				delete(e.procs, p)

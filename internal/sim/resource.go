@@ -19,8 +19,9 @@ type Resource struct {
 }
 
 type waitReq struct {
-	p *Proc
-	n int
+	p     *Proc
+	n     int
+	since Time // when the request joined the queue
 }
 
 // NewResource returns a resource with the given capacity (≥ 1).
@@ -56,6 +57,21 @@ func (r *Resource) BusyTime() Time {
 	return t
 }
 
+// Utilization returns the fraction of [0, now] during which at least one
+// unit was held — the uniform per-resource utilization figure the
+// metrics layer samples. now is typically Engine.Now(); a now of 0 (or
+// negative) yields 0.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	busy := r.busyTotal
+	if r.inUse > 0 && now > r.busySince {
+		busy += now - r.busySince
+	}
+	return float64(busy) / float64(now)
+}
+
 // Acquire obtains one unit, suspending p in FIFO order if none is free.
 func (r *Resource) Acquire(p *Proc) { r.AcquireN(p, 1) }
 
@@ -67,9 +83,15 @@ func (r *Resource) AcquireN(p *Proc, n int) {
 	}
 	if len(r.queue) == 0 && r.inUse+n <= r.cap {
 		r.grant(n)
+		if t := r.eng.tracer; t != nil {
+			t.ResourceAcquired(r, n, 0)
+		}
 		return
 	}
-	r.queue = append(r.queue, waitReq{p: p, n: n})
+	r.queue = append(r.queue, waitReq{p: p, n: n, since: r.eng.now})
+	if t := r.eng.tracer; t != nil {
+		t.ResourceQueued(r, p, n)
+	}
 	p.park()
 	// The releaser granted our units before waking us.
 }
@@ -86,6 +108,9 @@ func (r *Resource) TryAcquireN(n int) bool {
 	}
 	if len(r.queue) == 0 && r.inUse+n <= r.cap {
 		r.grant(n)
+		if t := r.eng.tracer; t != nil {
+			t.ResourceAcquired(r, n, 0)
+		}
 		return true
 	}
 	return false
@@ -112,10 +137,16 @@ func (r *Resource) ReleaseN(n int) {
 	if r.inUse == 0 {
 		r.busyTotal += r.eng.now - r.busySince
 	}
+	if t := r.eng.tracer; t != nil {
+		t.ResourceReleased(r, n)
+	}
 	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
 		r.grant(w.n)
+		if t := r.eng.tracer; t != nil {
+			t.ResourceAcquired(r, w.n, r.eng.now-w.since)
+		}
 		r.eng.wake(w.p)
 	}
 }

@@ -1,0 +1,143 @@
+package bps_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bps"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// goldenCfg is the fixed scenario of the no-op golden test: a two-server
+// HDD cluster, so all three instrumented layers (device, net, pfs) are
+// on the simulated path.
+func goldenCfg() bps.RunConfig {
+	return bps.RunConfig{
+		Storage: bps.Storage{Media: bps.HDD, Servers: 2, SharedFile: true},
+		Seed:    7,
+	}
+}
+
+func goldenRun(t *testing.T, cfg bps.RunConfig) bps.RunReport {
+	t.Helper()
+	rep, err := bps.SimulateSequentialRead(cfg, 2, 256<<10, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestNoopHooksGolden locks the uninstrumented run's records against a
+// golden file: the no-op observability hooks must not change a single
+// simulation timestamp across refactors.
+func TestNoopHooksGolden(t *testing.T) {
+	rep := goldenRun(t, goldenCfg())
+	var buf bytes.Buffer
+	if err := bps.WriteTraceCSV(&buf, rep.Records); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "noop_records.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("records differ from %s (rerun with -update-golden if the change is intended)\ngot:\n%s",
+			golden, buf.String())
+	}
+	if rep.Obs != nil {
+		t.Fatal("uninstrumented run returned an observer")
+	}
+}
+
+// TestObservedRunIsTimingNeutral runs the golden scenario with the full
+// observability subsystem attached and requires byte-identical records
+// and metrics: observation must never perturb the simulation.
+func TestObservedRunIsTimingNeutral(t *testing.T) {
+	plain := goldenRun(t, goldenCfg())
+
+	cfg := goldenCfg()
+	cfg.Observe = &bps.ObserveOptions{
+		ChromeTrace:   true,
+		SampleEvery:   bps.Millisecond,
+		QueueCounters: true,
+	}
+	observed := goldenRun(t, cfg)
+
+	if !reflect.DeepEqual(plain.Records, observed.Records) {
+		t.Fatal("observed run produced different records")
+	}
+	if plain.Metrics != observed.Metrics {
+		t.Fatalf("observed run produced different metrics:\nplain:    %+v\nobserved: %+v",
+			plain.Metrics, observed.Metrics)
+	}
+	if observed.Obs == nil {
+		t.Fatal("observed run returned no observer")
+	}
+}
+
+// TestChromeTraceCoversLayers checks the exported Chrome trace of a
+// cluster run: valid JSON with span events from the device, net, pfs,
+// and app layers.
+func TestChromeTraceCoversLayers(t *testing.T) {
+	cfg := goldenCfg()
+	cfg.Observe = &bps.ObserveOptions{ChromeTrace: true, SampleEvery: bps.Millisecond}
+	rep := goldenRun(t, cfg)
+
+	var buf bytes.Buffer
+	if err := rep.Obs.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cats := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Phase == "X" {
+			cats[ev.Cat]++
+		}
+	}
+	for _, layer := range []string{"device", "net", "pfs", "app"} {
+		if cats[layer] == 0 {
+			t.Fatalf("no %q spans in trace (cats: %v)", layer, cats)
+		}
+	}
+}
+
+// TestWriteChromeTraceFromRecords exports records without a simulation.
+func TestWriteChromeTraceFromRecords(t *testing.T) {
+	records := []bps.Record{
+		{PID: 1, Blocks: 8, Start: 0, End: 1000},
+		{PID: 2, Blocks: 8, Start: 500, End: 2000},
+	}
+	var buf bytes.Buffer
+	if err := bps.WriteChromeTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	events, ok := f["traceEvents"].([]any)
+	if !ok || len(events) < 4 { // 2 process metas + 2 thread metas + 2 spans
+		t.Fatalf("traceEvents = %v", f["traceEvents"])
+	}
+}

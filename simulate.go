@@ -50,6 +50,13 @@ type RunConfig struct {
 
 	// Seed makes runs reproducible; equal seeds give identical results.
 	Seed int64
+
+	// Observe, when non-nil, attaches the observability subsystem to the
+	// run: metrics registry, time-series sampler, and (per the options)
+	// Chrome trace-event collection. It never changes the simulated
+	// timeline — an observed run measures exactly what an unobserved one
+	// does. The collected data is returned in RunReport.Obs.
+	Observe *ObserveOptions
 }
 
 // RunReport is everything measured from one simulated run.
@@ -63,6 +70,10 @@ type RunReport struct {
 
 	// Errors counts failed application accesses (still included in B).
 	Errors int
+
+	// Obs is the run's observability data (metrics registry, sampler
+	// series, Chrome trace buffer); nil unless RunConfig.Observe was set.
+	Obs *Observer
 }
 
 // SimulateSequentialRead runs an IOzone/IOR-style workload: procs
@@ -130,6 +141,7 @@ func SimulateConcurrentApps(cfg RunConfig, apps ...AppSpec) (combined RunReport,
 		return RunReport{}, nil, fmt.Errorf("bps: no applications given")
 	}
 	e := sim.NewEngine(cfg.Seed)
+	ob := attachObserver(e, cfg)
 
 	// Shared infrastructure.
 	var cluster *pfs.Cluster
@@ -196,6 +208,7 @@ func SimulateConcurrentApps(cfg RunConfig, apps ...AppSpec) (combined RunReport,
 		Metrics: ComputeMetrics(allRecords, moved(), e.Now()),
 		Records: allRecords,
 		Errors:  errs,
+		Obs:     finishObservation(ob, allRecords),
 	}
 	return combined, perApp, nil
 }
@@ -232,6 +245,7 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 		return RunReport{}, fmt.Errorf("bps: procs %d < 1", procs)
 	}
 	e := sim.NewEngine(cfg.Seed)
+	ob := attachObserver(e, cfg)
 	var env workload.Env
 	var err error
 	switch {
@@ -267,6 +281,7 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
 		Records: res.Trace.Records(),
 		Errors:  res.Errors,
+		Obs:     finishObservation(ob, res.Trace.Records()),
 	}, nil
 }
 
@@ -290,6 +305,7 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
 	e := sim.NewEngine(cfg.Seed)
+	ob := attachObserver(e, cfg)
 	var env workload.Env
 	if cfg.Storage.Servers > 0 {
 		cluster, _ := testbed.NewCluster(e, testbed.ClusterSpec{
@@ -327,5 +343,6 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
 		Records: res.Trace.Records(),
 		Errors:  res.Errors,
+		Obs:     finishObservation(ob, res.Trace.Records()),
 	}, nil
 }
