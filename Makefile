@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench bench-all bench-smoke ci
 
 all: ci
 
@@ -16,7 +16,21 @@ test:
 race:
 	go test -race ./...
 
+# bench runs the engine micro- and macro-benchmarks and records them as
+# test2json lines in BENCH_sim.json (the committed perf baseline), then
+# echoes the human-readable Benchmark lines.
 bench:
-	go test -run xxx -bench . ./...
+	go test -run '^$$' -bench . -benchmem -json ./internal/sim/... > BENCH_sim.json
+	@grep -o '"Output":"[^"]*"' BENCH_sim.json | sed -e 's/^"Output":"//' -e 's/"$$//' \
+		| tr -d '\n' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' | grep -E '^Benchmark.*ns/op'
 
-ci: vet build race
+# bench-all sweeps every package's benchmarks without recording.
+bench-all:
+	go test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke runs each benchmark once — the CI guard that they compile
+# and execute.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/...
+
+ci: vet build race bench-smoke

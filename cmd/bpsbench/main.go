@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12] [-scale 0.015625] [-seed 42]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12] [-scale 0.015625] [-seed 42] [-parallel N]
 //
 // The output for a CC figure is the per-run measurement table followed by
 // the normalized correlation coefficient of each metric against
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"bps/internal/experiments"
@@ -29,6 +30,7 @@ func main() {
 	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, or ext1..ext2")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
 	quiet := flag.Bool("q", false, "suppress timing chatter")
 	asCSV := flag.Bool("csv", false, "emit per-run rows (and cc rows) as CSV instead of tables")
 	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
@@ -36,8 +38,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the last reproduced run's per-layer metrics as CSV here")
 	flag.Parse()
 
+	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel}
+
 	if *seeds > 0 {
-		r, err := experiments.RunRobustness(experiments.Params{Scale: *scale, Seed: *seed}, *fig, *seeds)
+		r, err := experiments.RunRobustness(params, *fig, *seeds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bpsbench:", err)
 			os.Exit(1)
@@ -46,7 +50,7 @@ func main() {
 		return
 	}
 
-	suite := experiments.NewSuite(experiments.Params{Scale: *scale, Seed: *seed})
+	suite := experiments.NewSuite(params)
 	if *traceOut != "" || *metricsOut != "" {
 		suite.SetObserve(&obs.Options{
 			ChromeTrace: *traceOut != "",

@@ -30,6 +30,12 @@
 //	    service) underneath the application rows, and metrics.csv holds
 //	    the per-layer metric registry (counters, histograms, utilization
 //	    probes).
+//
+//	bpstrace -replay hdd,ssd,hddx4,ssdx4 trace.bin
+//	    what-if comparison: replays the trace on every listed stack,
+//	    fanned out across -parallel workers (default NumCPU), printing
+//	    the metrics in list order. Output is bit-identical for any
+//	    -parallel value; -trace-out/-metrics-out need a single stack.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -54,9 +61,10 @@ func main() {
 	perPID := flag.Bool("per-pid", false, "also print a per-process breakdown")
 	window := flag.Float64("window", 0, "also print a windowed time series with this window in seconds")
 	latency := flag.Bool("latency", false, "also print the response-time distribution and histogram")
-	replay := flag.String("replay", "", "also replay the trace on a simulated stack: hdd, ssd, hddxN, or ssdxN (N servers)")
+	replay := flag.String("replay", "", "also replay the trace on simulated stacks (comma-separated what-if list): hdd, ssd, hddxN, or ssdxN (N servers)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for multi-stack replays (results are identical for any value)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (per-layer spans when combined with -replay)")
-	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires -replay)")
+	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires a single -replay stack)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -72,6 +80,7 @@ func main() {
 		windowSeconds: *window,
 		latency:       *latency,
 		replay:        *replay,
+		parallel:      *parallel,
 		traceOut:      *traceOut,
 		metricsOut:    *metricsOut,
 	}
@@ -90,6 +99,7 @@ type options struct {
 	windowSeconds float64
 	latency       bool
 	replay        string
+	parallel      int
 	traceOut      string
 	metricsOut    string
 }
@@ -167,38 +177,54 @@ func writeFile(name string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
-// printReplay re-runs the trace on a simulated stack and prints the
-// what-if metrics; with -trace-out/-metrics-out it attaches the
-// observability subsystem and writes the collected data.
+// printReplay re-runs the trace on one or more simulated stacks (a
+// comma-separated what-if list, fanned out across opts.parallel workers)
+// and prints each stack's metrics in list order. With a single stack,
+// -trace-out/-metrics-out attach the observability subsystem and write
+// the collected data.
 func printReplay(w io.Writer, records []bps.Record, opts options) error {
-	storage, err := parseStack(opts.replay)
-	if err != nil {
-		return err
+	stacks := strings.Split(opts.replay, ",")
+	observing := opts.traceOut != "" || opts.metricsOut != ""
+	if observing && len(stacks) > 1 {
+		return fmt.Errorf("-trace-out/-metrics-out need a single -replay stack, got %d", len(stacks))
 	}
-	cfg := bps.RunConfig{Storage: storage, Seed: 1}
-	if opts.traceOut != "" || opts.metricsOut != "" {
-		cfg.Observe = &bps.ObserveOptions{
+	cfgs := make([]bps.RunConfig, len(stacks))
+	for i, stack := range stacks {
+		storage, err := parseStack(stack)
+		if err != nil {
+			return err
+		}
+		cfgs[i] = bps.RunConfig{Storage: storage, Seed: 1}
+	}
+	if observing {
+		cfgs[0].Observe = &bps.ObserveOptions{
 			ChromeTrace: opts.traceOut != "",
 			SampleEvery: sim.Millisecond,
 		}
 	}
-	rep, err := bps.ReplayTrace(cfg, records)
-	if err != nil {
+	reps := make([]bps.RunReport, len(stacks))
+	if err := bps.SimulateEach(opts.parallel, len(stacks), func(i int) error {
+		rep, err := bps.ReplayTrace(cfgs[i], records)
+		reps[i] = rep
+		return err
+	}); err != nil {
 		return err
 	}
-	printMetrics(w, "replayed on "+opts.replay, rep.Metrics)
-	if rep.Errors > 0 {
-		fmt.Fprintf(w, "  (%d replayed accesses failed)\n", rep.Errors)
+	for i, stack := range stacks {
+		printMetrics(w, "replayed on "+stack, reps[i].Metrics)
+		if reps[i].Errors > 0 {
+			fmt.Fprintf(w, "  (%d replayed accesses failed)\n", reps[i].Errors)
+		}
 	}
 	if opts.traceOut != "" {
-		if err := writeFile(opts.traceOut, rep.Obs.WriteChromeTrace); err != nil {
+		if err := writeFile(opts.traceOut, reps[0].Obs.WriteChromeTrace); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "wrote Chrome trace (app + sim layers) to %s\n", opts.traceOut)
 	}
 	if opts.metricsOut != "" {
 		if err := writeFile(opts.metricsOut, func(f io.Writer) error {
-			return report.WriteObsCSV(f, rep.Obs.Registry())
+			return report.WriteObsCSV(f, reps[0].Obs.Registry())
 		}); err != nil {
 			return err
 		}

@@ -80,12 +80,13 @@ type Metrics struct {
 // Compute derives the per-run measurements from a gathered trace, the
 // file-system-level moved-byte count, and the application execution time.
 func Compute(g *trace.Global, movedBytes int64, execTime sim.Time) Metrics {
+	recs := g.Records()
 	return Metrics{
-		Ops:        int64(g.Len()),
+		Ops:        int64(len(recs)),
 		Blocks:     g.TotalBlocks(),
 		MovedBytes: movedBytes,
-		IOTime:     OverlapTime(g.Records()),
-		SumRespt:   SumTime(g.Records()),
+		IOTime:     OverlapTime(recs),
+		SumRespt:   SumTime(recs),
 		ExecTime:   execTime,
 	}
 }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"bps/internal/sim"
 	"bps/internal/trace"
@@ -24,17 +25,33 @@ func (iv Interval) Duration() sim.Time {
 	return iv.End - iv.Start
 }
 
+// intervalPool recycles the scratch interval slices OverlapTime builds,
+// so that sweeps computing T for run after run stop re-allocating (and
+// re-growing) the same buffer. A sync.Pool keeps this safe when the
+// experiment runner computes metrics on several worker goroutines.
+var intervalPool = sync.Pool{
+	New: func() interface{} { s := make([]Interval, 0, 1024); return &s },
+}
+
 // OverlapTime computes T in the BPS equation: the union ("overlapped
 // mode") of all access intervals. Concurrent accesses are counted once
 // and idle gaps are excluded, per paper §III.A and Fig. 2. The input
 // order does not matter; cost is O(n log n) for the sort plus one linear
-// merge pass — the paper's Fig. 3 algorithm.
+// merge pass — the paper's Fig. 3 algorithm. The interval scratch buffer
+// is pooled, so steady-state calls allocate nothing.
 func OverlapTime(records []trace.Record) sim.Time {
-	ivs := make([]Interval, 0, len(records))
+	if len(records) == 0 {
+		return 0
+	}
+	bufp := intervalPool.Get().(*[]Interval)
+	ivs := (*bufp)[:0]
 	for _, r := range records {
 		ivs = append(ivs, Interval{Start: r.Start, End: r.End})
 	}
-	return OverlapIntervals(ivs)
+	total := OverlapIntervals(ivs)
+	*bufp = ivs[:0]
+	intervalPool.Put(bufp)
+	return total
 }
 
 // OverlapIntervals computes the union length of arbitrary intervals.

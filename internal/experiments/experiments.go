@@ -24,8 +24,16 @@ type Params struct {
 	// remains much larger than one record.
 	Scale float64
 
-	// Seed is the base RNG seed; each run derives its own from it.
+	// Seed is the base RNG seed. Each run's engine seed is derived as a
+	// pure function of (Seed, sweep ID, point label) — see DeriveSeed —
+	// so results are independent of sweep order and worker scheduling.
 	Seed int64
+
+	// Parallel caps the worker goroutines each sweep fans its runs out
+	// across: 1 forces sequential execution, 0 (the default) means
+	// GOMAXPROCS. Every value produces bit-identical results; the knob
+	// only trades wall-clock time against CPU.
+	Parallel int
 }
 
 // Default returns the parameters used by the benchmark harness: 1/64 of

@@ -31,10 +31,8 @@ func (s *Suite) ext1() (Figure, error) {
 		if hopsScaled < 32 {
 			hopsScaled = 32
 		}
-		var points []Point
-		seed := s.params.Seed + 500
-		for i, win := range windows {
-			win := win
+		var specs []runSpec
+		for _, win := range windows {
 			w := workload.HopRead{
 				Label:          "hopread",
 				Processes:      1,
@@ -49,16 +47,12 @@ func (s *Suite) ext1() (Figure, error) {
 			if win > 0 {
 				label = sizeLabel(win)
 			}
-			pt, err := s.runPoint(seed+int64(i), label, func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: label, build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, hdd, 1, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("ext1", specs)
 	})
 	if err != nil {
 		return Figure{}, err
@@ -80,10 +74,8 @@ func (s *Suite) ext1() (Figure, error) {
 // invert, BW and BPS still track the application.
 func (s *Suite) ext2() (Figure, error) {
 	pts, err := s.sweep("ext2", func() ([]Point, error) {
-		var points []Point
-		seed := s.params.Seed + 600
-		for i, record := range set2RecordSizes {
-			record := record
+		var specs []runSpec
+		for _, record := range set2RecordSizes {
 			fileSize := s.params.scaled(set2FileBytes, record)
 			w := workload.SeqRead{
 				Label:           "iozone-write",
@@ -92,16 +84,12 @@ func (s *Suite) ext2() (Figure, error) {
 				RecordSize:      record,
 				Write:           true,
 			}
-			pt, err := s.runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: sizeLabel(record), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := testbed.NewLocalEnvOn(e, testbed.NewFTLSSD(e), 1, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("ext2", specs)
 	})
 	if err != nil {
 		return Figure{}, err
@@ -132,10 +120,8 @@ func (s *Suite) ext3() (Figure, error) {
 			regions = 128
 		}
 		regions = regions / procs * procs
-		var points []Point
-		seed := s.params.Seed + 700
-		for i, method := range []workload.AccessMethod{workload.DirectAccess, workload.SievingAccess, workload.CollectiveAccess} {
-			method := method
+		var specs []runSpec
+		for _, method := range []workload.AccessMethod{workload.DirectAccess, workload.SievingAccess, workload.CollectiveAccess} {
 			w := workload.InterleavedRead{
 				Label:        "romio",
 				Processes:    procs,
@@ -144,16 +130,12 @@ func (s *Suite) ext3() (Figure, error) {
 				Method:       method,
 			}
 			fileSize := w.RequiredBytes()
-			pt, err := s.runPoint(seed+int64(i), method.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: method.String(), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, hdd, 1, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("ext3", specs)
 	})
 	if err != nil {
 		return Figure{}, err

@@ -28,34 +28,22 @@ func (s *Suite) set1() ([]Point, error) {
 			BytesPerProcess: fileSize,
 			RecordSize:      record,
 		}
-		var points []Point
-		seed := s.params.Seed
-
+		var specs []runSpec
 		for _, k := range []storageKind{hdd, ssd} {
 			k := k
-			pt, err := s.runPoint(seed, "local-"+k.String(), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: "local-" + k.String(), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, k, 1, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
-			seed++
+			}})
 		}
 		for _, n := range []int{1, 2, 4, 8} {
 			n := n
-			pt, err := s.runPoint(seed, fmt.Sprintf("pvfs-%ds", n), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: fmt.Sprintf("pvfs-%ds", n), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: n, Media: hdd, Clients: 1}, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
-			seed++
+			}})
 		}
-		return points, nil
+		return s.runSweep("set1", specs)
 	})
 }
 
@@ -64,10 +52,10 @@ var set2RecordSizes = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4
 
 // set2 sweeps the I/O record size on a local device (paper §IV.C.2).
 func (s *Suite) set2(k storageKind) ([]Point, error) {
-	return s.sweep("set2-"+k.String(), func() ([]Point, error) {
-		var points []Point
-		seed := s.params.Seed + 100
-		for i, record := range set2RecordSizes {
+	key := "set2-" + k.String()
+	return s.sweep(key, func() ([]Point, error) {
+		var specs []runSpec
+		for _, record := range set2RecordSizes {
 			record := record
 			fileSize := s.params.scaled(set2FileBytes, record)
 			w := workload.SeqRead{
@@ -76,16 +64,12 @@ func (s *Suite) set2(k storageKind) ([]Point, error) {
 				BytesPerProcess: fileSize,
 				RecordSize:      record,
 			}
-			pt, err := s.runPoint(seed+int64(i), sizeLabel(record), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: sizeLabel(record), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newLocalEnv(e, k, 1, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep(key, specs)
 	})
 }
 
@@ -99,9 +83,8 @@ func (s *Suite) set3a() ([]Point, error) {
 	return s.sweep("set3a", func() ([]Point, error) {
 		const record = 64 << 10
 		total := s.params.scaled(set3TotalBytes, record*int64(len(set3aProcs)))
-		var points []Point
-		seed := s.params.Seed + 200
-		for i, procs := range set3aProcs {
+		var specs []runSpec
+		for _, procs := range set3aProcs {
 			procs := procs
 			perProc := roundTo(total/int64(procs), record)
 			w := workload.SeqRead{
@@ -110,16 +93,12 @@ func (s *Suite) set3a() ([]Point, error) {
 				BytesPerProcess: perProc,
 				RecordSize:      record,
 			}
-			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: fmt.Sprintf("%dp", procs), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newPinnedFilesEnv(e, clusterSpec{Servers: 8, Media: hdd, Clients: procs}, perProc)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("set3a", specs)
 	})
 }
 
@@ -134,9 +113,8 @@ func (s *Suite) set3b() ([]Point, error) {
 		const transfer = 64 << 10
 		maxProcs := set3bProcs[len(set3bProcs)-1]
 		fileSize := s.params.scaled(set3TotalBytes, transfer*int64(maxProcs))
-		var points []Point
-		seed := s.params.Seed + 300
-		for i, procs := range set3bProcs {
+		var specs []runSpec
+		for _, procs := range set3bProcs {
 			procs := procs
 			segment := roundTo(fileSize/int64(procs), transfer)
 			w := workload.SeqRead{
@@ -147,16 +125,12 @@ func (s *Suite) set3b() ([]Point, error) {
 				UseMPIIO:        true,
 				StartOffset:     func(pid int) int64 { return int64(pid) * segment },
 			}
-			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("%dp", procs), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: fmt.Sprintf("%dp", procs), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: 8, Media: hdd, Clients: procs}, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("set3b", specs)
 	})
 }
 
@@ -178,9 +152,8 @@ func (s *Suite) set4() ([]Point, error) {
 		if perProc < 256 {
 			perProc = 256
 		}
-		var points []Point
-		seed := s.params.Seed + 400
-		for i, spacing := range set4Spacings {
+		var specs []runSpec
+		for _, spacing := range set4Spacings {
 			spacing := spacing
 			w := workload.Noncontig{
 				Label:          "hpio",
@@ -193,16 +166,12 @@ func (s *Suite) set4() ([]Point, error) {
 			}
 			span := w.Span() + w.RegionSpacing
 			fileSize := span * procs
-			pt, err := s.runPoint(seed+int64(i), fmt.Sprintf("gap%dB", spacing), func(e *sim.Engine) (workload.Env, workload.Runner, error) {
+			specs = append(specs, runSpec{label: fmt.Sprintf("gap%dB", spacing), build: func(e *sim.Engine) (workload.Env, workload.Runner, error) {
 				env, err := newSharedFileEnv(e, clusterSpec{Servers: 4, Media: hdd, Clients: procs}, fileSize)
 				return env, w, err
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, pt)
+			}})
 		}
-		return points, nil
+		return s.runSweep("set4", specs)
 	})
 }
 

@@ -26,7 +26,10 @@ type Robustness struct {
 
 // RunRobustness reproduces figure id under nseeds different seeds (the
 // suite's own seed, then consecutive offsets) and aggregates the CC
-// values. Only CC figures are supported.
+// values. Only CC figures are supported. The per-seed suites are
+// independent, so they run across p.Parallel workers (on top of each
+// suite's own sweep parallelism); results are folded in seed order, so
+// the aggregate is bit-identical for any worker count.
 func RunRobustness(p Params, id string, nseeds int) (Robustness, error) {
 	if nseeds < 2 {
 		return Robustness{}, fmt.Errorf("experiments: robustness needs ≥ 2 seeds, got %d", nseeds)
@@ -44,21 +47,31 @@ func RunRobustness(p Params, id string, nseeds int) (Robustness, error) {
 		r.Min[k] = math.Inf(1)
 		r.Max[k] = math.Inf(-1)
 	}
-	for s := 0; s < nseeds; s++ {
+	figs := make([]Figure, nseeds)
+	err := ForEach(p.Parallel, nseeds, func(s int) error {
 		params := p
 		params.Seed = p.Seed + int64(s)*1000
 		f, err := NewSuite(params).Figure(id)
 		if err != nil {
-			return r, err
+			return err
 		}
 		if f.CC == nil {
-			return r, fmt.Errorf("experiments: %s is a detail figure; robustness needs a CC figure", id)
+			return fmt.Errorf("experiments: %s is a detail figure; robustness needs a CC figure", id)
 		}
 		for _, k := range core.Kinds {
-			cc := f.CC.CC[k]
-			if math.IsNaN(cc) {
-				return r, fmt.Errorf("experiments: %s seed %d: CC(%v) is NaN", id, params.Seed, k)
+			if math.IsNaN(f.CC.CC[k]) {
+				return fmt.Errorf("experiments: %s seed %d: CC(%v) is NaN", id, params.Seed, k)
 			}
+		}
+		figs[s] = f
+		return nil
+	})
+	if err != nil {
+		return r, err
+	}
+	for _, f := range figs {
+		for _, k := range core.Kinds {
+			cc := f.CC.CC[k]
 			if cc < r.Min[k] {
 				r.Min[k] = cc
 			}

@@ -37,34 +37,36 @@ func newPinnedFilesEnv(e *sim.Engine, spec clusterSpec, filePerProc int64) (*wor
 	return testbed.NewPinnedFilesEnv(e, spec, filePerProc)
 }
 
-// runPoint executes one workload run on a fresh engine and converts the
-// result into a sweep point. When the suite has an observe configuration
-// (SetObserve), the run is instrumented and its observer retained as the
-// suite's last observation.
-func (s *Suite) runPoint(seed int64, label string, build func(e *sim.Engine) (workload.Env, workload.Runner, error)) (Point, error) {
+// runOne executes one workload run on a fresh engine seeded with seed
+// and converts the result into a sweep point. It touches no suite state,
+// so the run scheduler can call it from any worker goroutine; when
+// observe is non-nil the run gets its own observer, returned alongside
+// the point.
+func runOne(seed int64, label string, observe *obs.Options, build buildFunc) (Point, *Observation, error) {
 	e := sim.NewEngine(seed)
 	var ob *obs.Observer
-	if s.observe != nil {
-		ob = obs.Attach(e, *s.observe)
+	if observe != nil {
+		ob = obs.Attach(e, *observe)
 	}
 	env, w, err := build(e)
 	if err != nil {
-		return Point{}, fmt.Errorf("run %s: %w", label, err)
+		return Point{}, nil, fmt.Errorf("run %s: %w", label, err)
 	}
 	res, err := w.Run(e, env)
 	if err != nil {
-		return Point{}, fmt.Errorf("run %s: %w", label, err)
+		return Point{}, nil, fmt.Errorf("run %s: %w", label, err)
 	}
 	e.Shutdown() // unwind server daemons so sweeps don't accumulate goroutines
+	var o *Observation
 	if ob != nil {
 		for _, r := range res.Trace.Records() {
 			ob.AddAppRecord(r.PID, r.Blocks, r.Start, r.End)
 		}
-		s.lastObs = &Observation{Label: label, Obs: ob}
+		o = &Observation{Label: label, Obs: ob}
 	}
 	return Point{
 		Label:   label,
 		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
 		Errors:  res.Errors,
-	}, nil
+	}, o, nil
 }

@@ -1,0 +1,33 @@
+// Macro-benchmarks: whole paper figures reproduced end to end. These
+// live in package sim_test because they drive the engine through the
+// experiments layer, which package sim cannot import.
+package sim_test
+
+import (
+	"testing"
+
+	"bps/internal/experiments"
+)
+
+// benchFigure reproduces one figure per iteration at 1/1024 of the
+// paper's data volume with a fresh (memoization-free) suite each time.
+// Parallel: 1 keeps the measurement a pure engine/workload number,
+// independent of GOMAXPROCS.
+func benchFigure(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Params{Scale: 1.0 / 1024, Seed: 42, Parallel: 1})
+		if _, err := s.Figure(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 is the record-size sweep over HDD and SSD (20 runs) —
+// the suite's broadest single figure and the macro guard on engine
+// regressions that micro-benchmarks miss.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFigure9 is the process-count sweep on the parallel stack, the
+// most contention-heavy figure (up to 32 procs fighting per server).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, "fig9") }

@@ -1,38 +1,87 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 )
 
-// event is a scheduled callback in the event calendar.
+// event is a scheduled entry in the event calendar. Exactly one of fn
+// and p is set: fn is an ordinary callback, while p marks a process
+// wake-up that the dispatch loop resumes directly — the common
+// Sleep/Resource path pays no closure allocation per wake.
 type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for events at the same time
 	fn  func()
+	p   *Proc
 	bg  bool // background events do not keep the simulation alive
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether ev fires before other in calendar order
+// (time, then FIFO sequence).
+func (ev *event) before(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is a 4-ary min-heap over concrete event values, ordered by
+// (at, seq). It replaces container/heap: the wider fan-out halves the
+// tree depth of the sift-down that dominates pop, and the monomorphic
+// element type removes the interface{} boxing (one allocation per
+// heap.Push) and the Less/Swap indirection of the standard library
+// interface.
+type eventQueue []event
+
+// push appends ev and sifts it up to its heap position.
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/p references for GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulation engine.
@@ -40,10 +89,13 @@ func (h *eventHeap) Pop() interface{} {
 // The zero value is not usable; construct with NewEngine. All methods must
 // be called either before Run, from inside an event callback, or from a
 // running Proc — the engine enforces single-threaded execution, so no
-// additional locking is required by users.
+// additional locking is required by users. Distinct engines are fully
+// independent: programs may run many of them concurrently on different
+// goroutines (one goroutine driving each), which is how the experiment
+// runner parallelizes sweeps.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	nevents uint64
 	fg      int // scheduled foreground events still in the calendar
@@ -139,7 +191,21 @@ func (e *Engine) schedule(t Time, fn func(), bg bool) {
 	if !bg {
 		e.fg++
 	}
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, bg: bg})
+	e.events.push(event{at: t, seq: e.seq, fn: fn, bg: bg})
+}
+
+// scheduleWake schedules parked process p to be resumed at absolute time
+// t. The calendar stores the proc pointer itself, so the ubiquitous
+// Sleep/wake path allocates no wrapper closure.
+func (e *Engine) scheduleWake(t Time, p *Proc, bg bool) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling wake at %v before now %v", t, e.now))
+	}
+	e.seq++
+	if !bg {
+		e.fg++
+	}
+	e.events.push(event{at: t, seq: e.seq, p: p, bg: bg})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -165,21 +231,30 @@ func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
 // deadline remain in the calendar, as do background events pending once
 // the last foreground event has run. It returns a *DeadlockError if the
 // foreground calendar drains while processes are still blocked.
+//
+// The tracer is latched once at entry (SetTracer documents it must be
+// called outside a running simulation), keeping the dispatch loop free
+// of per-event field loads.
 func (e *Engine) RunUntil(deadline Time) error {
+	tracer := e.tracer
 	for e.fg > 0 {
 		if e.events[0].at > deadline {
 			return nil
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if !ev.bg {
 			e.fg--
 		}
 		e.now = ev.at
 		e.nevents++
-		if e.tracer != nil {
-			e.tracer.EventDispatched(e.now, e.nevents)
+		if tracer != nil {
+			tracer.EventDispatched(e.now, e.nevents)
 		}
-		ev.fn()
+		if ev.p != nil {
+			e.unpark(ev.p)
+		} else {
+			ev.fn()
+		}
 	}
 	if len(e.live) > 0 {
 		names := make([]string, 0, len(e.live))

@@ -104,7 +104,7 @@ func (e *Engine) unpark(p *Proc) {
 // wake schedules p to be resumed at the current simulated time, preserving
 // FIFO order with other wakes. Safe to call from any simulation context.
 func (e *Engine) wake(p *Proc) {
-	e.After(0, func() { e.unpark(p) })
+	e.scheduleWake(e.now, p, false)
 }
 
 // Sleep suspends the process for d simulated nanoseconds. Zero d yields to
@@ -114,7 +114,7 @@ func (p *Proc) Sleep(d Time) {
 		panic("sim: negative sleep")
 	}
 	e := p.eng
-	e.After(d, func() { e.unpark(p) })
+	e.scheduleWake(e.now+d, p, false)
 	p.park()
 }
 

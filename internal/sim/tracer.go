@@ -71,6 +71,6 @@ func (p *Proc) SleepBackground(d Time) {
 		panic("sim: negative sleep")
 	}
 	e := p.eng
-	e.AfterBackground(d, func() { e.unpark(p) })
+	e.scheduleWake(e.now+d, p, true)
 	p.park()
 }

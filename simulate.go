@@ -6,12 +6,26 @@ import (
 
 	"bps/internal/core"
 	"bps/internal/device"
+	"bps/internal/experiments"
 	"bps/internal/fsim"
 	"bps/internal/pfs"
 	"bps/internal/sim"
 	"bps/internal/testbed"
 	"bps/internal/workload"
 )
+
+// SimulateEach runs fn(i) for every i in [0, n) across at most parallel
+// worker goroutines (0 means GOMAXPROCS) and returns the lowest-index
+// error once all runs have finished. It is the batch entry point for
+// independent simulations — what-if comparisons across storage stacks,
+// seed sweeps, replay fan-outs. Each invocation must be self-contained:
+// build its own RunConfig and call one Simulate*/Replay function, which
+// runs on its own engine; results must depend only on i, never on
+// execution order, so a parallel batch is bit-identical to a sequential
+// one.
+func SimulateEach(parallel, n int, fn func(i int) error) error {
+	return experiments.ForEach(parallel, n, fn)
+}
 
 // Media selects the storage medium for a simulated run.
 type Media = testbed.Media

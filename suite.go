@@ -8,9 +8,20 @@ import (
 	"bps/internal/stats"
 )
 
-// ExperimentParams controls the paper-reproduction suite's scale and
-// seed. The zero value means 1/64 of the paper's data volume, seed 42.
+// ExperimentParams controls the paper-reproduction suite's scale, seed,
+// and parallelism. The zero value means 1/64 of the paper's data volume,
+// seed 42, and sweeps fanned out across GOMAXPROCS workers; Parallel: 1
+// forces sequential execution. Every Parallel value produces
+// bit-identical figures: each run's engine seed is DeriveSeed(Seed,
+// sweep ID, point label), independent of scheduling.
 type ExperimentParams = experiments.Params
+
+// DeriveSeed returns the engine seed the suite uses for one sweep point:
+// a pure function of (base seed, sweep ID, point label), so sweep
+// reordering and parallel execution can never change a run's result.
+func DeriveSeed(base int64, sweepID, label string) int64 {
+	return experiments.DeriveSeed(base, sweepID, label)
+}
 
 // Figure is the reproduction of one paper figure: per-run measurements
 // plus, for CC figures, the normalized correlation coefficients.
