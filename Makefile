@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet build test race bench bench-all bench-smoke ci
+.PHONY: all vet build test race bench bench-all bench-smoke faults ci
 
 all: ci
 
@@ -32,5 +32,12 @@ bench-all:
 # and execute.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/...
+
+# faults runs the FaultSweep smoke matrix: one healthy rate and one
+# degraded rate at tiny scale, enough to exercise injection at every
+# layer plus the client recovery path end to end.
+faults:
+	go run ./cmd/bpsbench -faults -scale 0.002 -fault-rates 0,0.016 -q
+	go run ./cmd/bpsbench -faults -scale 0.002 -fault-rates 0,0.064 -q
 
 ci: vet build race bench-smoke

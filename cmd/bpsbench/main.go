@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12] [-scale 0.015625] [-seed 42] [-parallel N]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults] [-scale 0.015625] [-seed 42] [-parallel N]
+//	bpsbench -faults [-fault-rates 0,0.004,0.016]
 //
 // The output for a CC figure is the per-run measurement table followed by
 // the normalized correlation coefficient of each metric against
@@ -18,6 +19,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"bps/internal/experiments"
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, or ext1..ext2")
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, or faults")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
@@ -36,9 +39,20 @@ func main() {
 	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
 	traceOut := flag.String("trace-out", "", "write the last reproduced run as Chrome trace-event JSON here")
 	metricsOut := flag.String("metrics-out", "", "write the last reproduced run's per-layer metrics as CSV here")
+	faultsFig := flag.Bool("faults", false, "shortcut for -fig faults: the BPS-under-degradation FaultSweep")
+	faultRates := flag.String("fault-rates", "", "comma-separated fault rates for the FaultSweep x-axis (default 0,0.001,0.004,0.016,0.064)")
 	flag.Parse()
 
-	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if *faultsFig {
+		*fig = experiments.FaultFigureID
+	}
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpsbench: -fault-rates:", err)
+		os.Exit(1)
+	}
+
+	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel, FaultRates: rates}
 
 	if *seeds > 0 {
 		r, err := experiments.RunRobustness(params, *fig, *seeds)
@@ -58,7 +72,6 @@ func main() {
 		})
 	}
 
-	var err error
 	if *asCSV {
 		err = runCSV(suite, *fig, *quiet)
 	} else {
@@ -71,6 +84,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseRates parses a comma-separated -fault-rates list; "" means nil
+// (use the experiment's defaults).
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("rate %g out of [0,1]", r)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 // writeObservation exports the last instrumented run's Chrome trace
@@ -142,6 +176,13 @@ func run(suite *experiments.Suite, fig string, quiet bool) error {
 			}
 			report.WriteFigure(out, f)
 		}
+		return nil
+	case experiments.FaultFigureID:
+		f, err := timed(suite, fig, quiet)
+		if err != nil {
+			return err
+		}
+		report.WriteFaultFigure(out, f)
 		return nil
 	default:
 		f, err := timed(suite, fig, quiet)

@@ -31,6 +31,12 @@
 //	    the per-layer metric registry (counters, histograms, utilization
 //	    probes).
 //
+//	bpstrace -replay hddx4 -fault-rate 0.01 trace.bin
+//	    what-if under degradation: the same replay with faults injected
+//	    at every layer (device errors/stragglers, link drops/delays,
+//	    server fail/slow windows) while the clients ride through on the
+//	    retry/failover recovery policy.
+//
 //	bpstrace -replay hdd,ssd,hddx4,ssdx4 trace.bin
 //	    what-if comparison: replays the trace on every listed stack,
 //	    fanned out across -parallel workers (default NumCPU), printing
@@ -62,6 +68,7 @@ func main() {
 	window := flag.Float64("window", 0, "also print a windowed time series with this window in seconds")
 	latency := flag.Bool("latency", false, "also print the response-time distribution and histogram")
 	replay := flag.String("replay", "", "also replay the trace on simulated stacks (comma-separated what-if list): hdd, ssd, hddxN, or ssdxN (N servers)")
+	faultRate := flag.Float64("fault-rate", 0, "inject faults at this rate into every -replay stack (client recovery is enabled automatically)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for multi-stack replays (results are identical for any value)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (per-layer spans when combined with -replay)")
 	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires a single -replay stack)")
@@ -80,6 +87,7 @@ func main() {
 		windowSeconds: *window,
 		latency:       *latency,
 		replay:        *replay,
+		faultRate:     *faultRate,
 		parallel:      *parallel,
 		traceOut:      *traceOut,
 		metricsOut:    *metricsOut,
@@ -99,6 +107,7 @@ type options struct {
 	windowSeconds float64
 	latency       bool
 	replay        string
+	faultRate     float64
 	parallel      int
 	traceOut      string
 	metricsOut    string
@@ -194,6 +203,7 @@ func printReplay(w io.Writer, records []bps.Record, opts options) error {
 		if err != nil {
 			return err
 		}
+		storage.FaultRate = opts.faultRate
 		cfgs[i] = bps.RunConfig{Storage: storage, Seed: 1}
 	}
 	if observing {

@@ -1,0 +1,62 @@
+package device
+
+import (
+	"bps/internal/sim"
+)
+
+// FaultInjector wraps a device and fails every Nth request (N = Every).
+// Failed requests consume the full service time of the underlying device
+// before returning ErrInjectedFault, modelling retried/failed accesses
+// that the BPS paper still counts in B.
+//
+// Deprecated: use the internal/faults package. faults.NewEveryNth has
+// identical semantics, and faults.WrapDevice applies a full
+// seed-deterministic fault plan (transient errors, stragglers,
+// throughput degradation). This shim remains so existing stacks and
+// tests keep working; it cannot live in internal/faults itself because
+// that package builds on this one.
+type FaultInjector struct {
+	Inner Device
+	Every uint64 // fail request numbers k·Every (1-based); 0 disables
+
+	n     uint64
+	stats Stats
+}
+
+// NewFaultInjector wraps inner, failing every nth access.
+//
+// Deprecated: use faults.NewEveryNth or faults.WrapDevice.
+func NewFaultInjector(inner Device, every uint64) *FaultInjector {
+	return &FaultInjector{Inner: inner, Every: every}
+}
+
+// Name implements Device.
+func (f *FaultInjector) Name() string { return f.Inner.Name() + "+faults" }
+
+// Capacity implements Device.
+func (f *FaultInjector) Capacity() int64 { return f.Inner.Capacity() }
+
+// BusyTime implements Device.
+func (f *FaultInjector) BusyTime() sim.Time { return f.Inner.BusyTime() }
+
+// Stats implements Device. Counters include both successful and failed
+// accesses; Errors counts the injected faults.
+func (f *FaultInjector) Stats() Stats {
+	s := f.Inner.Stats()
+	s.Errors += f.stats.Errors
+	return s
+}
+
+// Access implements Device.
+func (f *FaultInjector) Access(p *sim.Proc, req Request) error {
+	err := f.Inner.Access(p, req)
+	if err != nil {
+		return err
+	}
+	f.n++
+	if f.Every > 0 && f.n%f.Every == 0 {
+		f.stats.Errors++
+		return ErrInjectedFault
+	}
+	return nil
+}

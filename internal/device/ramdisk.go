@@ -73,51 +73,3 @@ func (d *RAMDisk) Access(p *sim.Proc, req Request) error {
 	sp.End()
 	return nil
 }
-
-// FaultInjector wraps a device and fails every Nth request (N = Every).
-// Failed requests consume the full service time of the underlying device
-// before returning ErrInjectedFault, modelling retried/failed accesses
-// that the BPS paper still counts in B.
-type FaultInjector struct {
-	Inner Device
-	Every uint64 // fail request numbers k·Every (1-based); 0 disables
-
-	n     uint64
-	stats Stats
-}
-
-// NewFaultInjector wraps inner, failing every nth access.
-func NewFaultInjector(inner Device, every uint64) *FaultInjector {
-	return &FaultInjector{Inner: inner, Every: every}
-}
-
-// Name implements Device.
-func (f *FaultInjector) Name() string { return f.Inner.Name() + "+faults" }
-
-// Capacity implements Device.
-func (f *FaultInjector) Capacity() int64 { return f.Inner.Capacity() }
-
-// BusyTime implements Device.
-func (f *FaultInjector) BusyTime() sim.Time { return f.Inner.BusyTime() }
-
-// Stats implements Device. Counters include both successful and failed
-// accesses; Errors counts the injected faults.
-func (f *FaultInjector) Stats() Stats {
-	s := f.Inner.Stats()
-	s.Errors += f.stats.Errors
-	return s
-}
-
-// Access implements Device.
-func (f *FaultInjector) Access(p *sim.Proc, req Request) error {
-	err := f.Inner.Access(p, req)
-	if err != nil {
-		return err
-	}
-	f.n++
-	if f.Every > 0 && f.n%f.Every == 0 {
-		f.stats.Errors++
-		return ErrInjectedFault
-	}
-	return nil
-}

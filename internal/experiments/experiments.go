@@ -34,6 +34,10 @@ type Params struct {
 	// GOMAXPROCS. Every value produces bit-identical results; the knob
 	// only trades wall-clock time against CPU.
 	Parallel int
+
+	// FaultRates overrides the FaultSweep x-axis (the "faults" figure);
+	// nil means DefaultFaultRates. The paper figures ignore it.
+	FaultRates []float64
 }
 
 // Default returns the parameters used by the benchmark harness: 1/64 of
@@ -175,9 +179,11 @@ func (s *Suite) Figure(id string) (Figure, error) {
 		return s.fig12()
 	case "ext1", "ext2", "ext3":
 		return s.extension(id)
+	case FaultFigureID:
+		return s.figFaults()
 	default:
-		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v and extensions %v)",
-			id, FigureIDs, ExtensionIDs)
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, and %q)",
+			id, FigureIDs, ExtensionIDs, FaultFigureID)
 	}
 }
 

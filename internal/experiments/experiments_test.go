@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestParamsDefaults(t *testing.T) {
 	if p.Scale != 1.0/64 || p.Seed != 42 {
 		t.Fatalf("defaults = %+v", p)
 	}
-	if got := Default().withDefaults(); got != p {
+	if got := Default().withDefaults(); !reflect.DeepEqual(got, p) {
 		t.Fatalf("Default() = %+v", got)
 	}
 	if v := (Params{Scale: 1}).scaled(1000, 64); v != 1024 {

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
+
+// TestFaultPlanSeedPinned pins the fault-plan seed derivation for the
+// default sweep labels: these roots feed every injected fault, so a
+// change to the derivation or the label format silently reshuffles the
+// whole FaultSweep.
+func TestFaultPlanSeedPinned(t *testing.T) {
+	pinned := map[string]int64{
+		"r0":     8472897934957076197,
+		"r0.001": -2945874005553772872,
+		"r0.004": -2945868507995631817,
+		"r0.016": -2946871262600371024,
+		"r0.064": -2944034522600154319,
+	}
+	for label, want := range pinned {
+		if got := DeriveSeed(42, "faultsweep-plan", label); got != want {
+			t.Errorf("DeriveSeed(42, faultsweep-plan, %q) = %d, want %d", label, got, want)
+		}
+	}
+}
+
+func TestFaultRateLabels(t *testing.T) {
+	cases := map[float64]string{0: "r0", 0.001: "r0.001", 0.064: "r0.064"}
+	for rate, want := range cases {
+		if got := faultRateLabel(rate); got != want {
+			t.Errorf("faultRateLabel(%g) = %q, want %q", rate, got, want)
+		}
+	}
+}
+
+// TestFaultFigureStaysOutOfPaperOutputs guards the acceptance criterion
+// that `-fig all` output is unchanged: the FaultSweep must never creep
+// into the paper-figure or extension ID lists.
+func TestFaultFigureStaysOutOfPaperOutputs(t *testing.T) {
+	for _, id := range append(append([]string{}, FigureIDs...), ExtensionIDs...) {
+		if id == FaultFigureID {
+			t.Fatalf("%q listed among paper outputs", FaultFigureID)
+		}
+	}
+}
+
+// TestFaultSweepParallelMatchesSequential extends the determinism
+// contract to the FaultSweep: fault injection at every layer, retries,
+// backoff jitter, and failover must all replay bit-identically whatever
+// the worker count. Run under -race with the rest of the package.
+func TestFaultSweepParallelMatchesSequential(t *testing.T) {
+	build := func(parallel int) *Suite {
+		p := Params{Scale: 1.0 / 512, Seed: 42, Parallel: parallel}
+		s := NewSuite(p)
+		s.SetObserve(&obs.Options{SampleEvery: sim.Millisecond})
+		return s
+	}
+	seq, par := build(1), build(8)
+	fs, err := seq.Figure(FaultFigureID)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	fp, err := par.Figure(FaultFigureID)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(fs, fp) {
+		t.Errorf("faults figure differs between parallel=1 and parallel=8:\nseq: %+v\npar: %+v", fs, fp)
+	}
+	so, po := obsSummary(seq.LastObservation()), obsSummary(par.LastObservation())
+	if so != po {
+		t.Errorf("observation summaries differ:\n--- parallel=1\n%s--- parallel=8\n%s", so, po)
+	}
+}
+
+// TestFaultSweepDegradesExecution: rising fault rates must cost the
+// application time — the highest-rate point runs longer than the
+// healthy one (the property that gives the figure its CC signal).
+func TestFaultSweepDegradesExecution(t *testing.T) {
+	s := NewSuite(Params{Scale: 1.0 / 256, Seed: 42, FaultRates: []float64{0, 0.1}})
+	f, err := s.Figure(FaultFigureID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(f.Points))
+	}
+	healthy, faulted := f.Points[0], f.Points[1]
+	if faulted.Metrics.ExecTime <= healthy.Metrics.ExecTime {
+		t.Errorf("exec time did not degrade: healthy %v, faulted %v",
+			healthy.Metrics.ExecTime, faulted.Metrics.ExecTime)
+	}
+	if healthy.Errors != 0 {
+		t.Errorf("healthy point reported %d errors", healthy.Errors)
+	}
+	// The workload's block demand is fixed; recovery keeps it moving.
+	if faulted.Metrics.Ops != healthy.Metrics.Ops {
+		t.Errorf("ops differ: healthy %d, faulted %d", healthy.Metrics.Ops, faulted.Metrics.Ops)
+	}
+}
+
+// TestFaultTraceHasRetrySpans: the Chrome trace of a faulted run must
+// carry the recovery story — "retry" spans in the pfs category marking
+// each backoff gap.
+func TestFaultTraceHasRetrySpans(t *testing.T) {
+	s := NewSuite(Params{Scale: 1.0 / 512, Seed: 42, FaultRates: []float64{0.1}})
+	s.SetObserve(&obs.Options{ChromeTrace: true, SampleEvery: sim.Millisecond})
+	if _, err := s.Figure(FaultFigureID); err != nil {
+		t.Fatal(err)
+	}
+	last := s.LastObservation()
+	if last == nil {
+		t.Fatal("no observation collected")
+	}
+	var b strings.Builder
+	if err := last.Obs.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	trace := b.String()
+	if !strings.Contains(trace, `"retry"`) {
+		t.Error("faulted run's Chrome trace has no retry spans")
+	}
+	if !strings.Contains(trace, `"pfs"`) {
+		t.Error("faulted run's Chrome trace has no pfs category")
+	}
+}

@@ -55,17 +55,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// LinkFaults lets a fault plan perturb individual transfers. Perturb is
+// consulted once per non-loopback transfer and returns how many extra
+// retransmissions the transfer pays (each one full serialization pass
+// through the sender's NIC) and how much extra switch delay it suffers.
+// Implementations live outside this package (internal/faults) so netsim
+// carries no fault-model dependency; a nil LinkFaults leaves Transfer's
+// code path exactly as it was.
+type LinkFaults interface {
+	Perturb(size int64) (retransmits int, delay sim.Time)
+}
+
 // Fabric is a switched network connecting NICs.
 type Fabric struct {
 	eng       *sim.Engine
 	cfg       Config
 	backplane *sim.Resource // nil when BackplaneRate is 0
+	faults    LinkFaults    // nil = healthy network
 
 	// Observability handles; all nil-safe when the engine is unobserved.
-	o          *obs.Observer
-	transfers  *obs.Counter
-	bytes      *obs.Counter
-	transferNS *obs.Histogram
+	o           *obs.Observer
+	transfers   *obs.Counter
+	bytes       *obs.Counter
+	transferNS  *obs.Histogram
+	retransmits *obs.Counter
+	faultDelay  *obs.Counter // accumulated injected delay, ns
 }
 
 // NewFabric constructs a fabric on the engine.
@@ -79,6 +93,8 @@ func NewFabric(e *sim.Engine, cfg Config) *Fabric {
 	f.transfers = reg.Counter("net/fabric/transfers")
 	f.bytes = reg.Counter("net/fabric/bytes")
 	f.transferNS = reg.Histogram("net/fabric/transfer_ns")
+	f.retransmits = reg.Counter("net/fabric/retransmits")
+	f.faultDelay = reg.Counter("net/fabric/fault_delay_ns")
 	if f.backplane != nil && reg != nil {
 		bp := f.backplane
 		reg.Probe("net/backplane/utilization", func() float64 { return bp.Utilization(e.Now()) })
@@ -88,6 +104,11 @@ func NewFabric(e *sim.Engine, cfg Config) *Fabric {
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetFaults installs (or, with nil, removes) the fabric's link-fault
+// model. Call before the simulation starts: changing it mid-run would
+// make results depend on installation order.
+func (f *Fabric) SetFaults(lf LinkFaults) { f.faults = lf }
 
 // NIC is one node's network interface: independent transmit and receive
 // resources, each serializing at line rate.
@@ -163,8 +184,24 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
 	start := f.eng.Now()
 	ser := f.serialization(size)
 
+	// A dropped transfer retransmits: the sender serializes the whole
+	// message again while holding its tx side; an injected delay is paid
+	// in the switch alongside the propagation latency.
+	txSer, extraDelay := ser, sim.Time(0)
+	if f.faults != nil {
+		rt, d := f.faults.Perturb(size)
+		if rt > 0 {
+			txSer += sim.Time(rt) * ser
+			f.retransmits.Add(int64(rt))
+		}
+		if d > 0 {
+			extraDelay = d
+			f.faultDelay.Add(int64(d))
+		}
+	}
+
 	src.tx.Acquire(p)
-	p.Sleep(ser)
+	p.Sleep(txSer)
 	src.tx.Release()
 	src.sent += size
 
@@ -173,7 +210,7 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
 		p.Sleep(sim.TransferTime(size, f.cfg.BackplaneRate))
 		f.backplane.Release()
 	}
-	p.Sleep(f.cfg.Latency)
+	p.Sleep(f.cfg.Latency + extraDelay)
 
 	dst.rx.Acquire(p)
 	p.Sleep(ser)

@@ -188,3 +188,43 @@ func TestTransferMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// fixedFaults is a deterministic LinkFaults: every transfer pays the
+// given retransmissions and delay.
+type fixedFaults struct {
+	retransmits int
+	delay       sim.Time
+}
+
+func (f fixedFaults) Perturb(int64) (int, sim.Time) { return f.retransmits, f.delay }
+
+// TestLinkFaultsExtendTransfer pins the fault hook's timing model: one
+// retransmission doubles the tx serialization (the rx side clocks the
+// surviving copy once), and a delay is added to the switch latency.
+func TestLinkFaultsExtendTransfer(t *testing.T) {
+	run := func(lf LinkFaults) sim.Time {
+		e := sim.NewEngine(1)
+		f := NewFabric(e, Config{Bandwidth: 1e6, Latency: sim.Millisecond, MTU: 1 << 20})
+		if lf != nil {
+			f.SetFaults(lf)
+		}
+		a, b := f.NewNIC("a"), f.NewNIC("b")
+		e.Spawn("p", func(p *sim.Proc) {
+			f.Transfer(p, a, b, 1e6) // 1 s serialization per side
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	healthy := run(nil)
+	if clean := run(fixedFaults{}); clean != healthy {
+		t.Fatalf("no-op faults changed timing: %v vs %v", clean, healthy)
+	}
+	if dropped := run(fixedFaults{retransmits: 1}); dropped != healthy+sim.Second {
+		t.Fatalf("1 retransmit: %v, want %v", dropped, healthy+sim.Second)
+	}
+	if delayed := run(fixedFaults{delay: 5 * sim.Millisecond}); delayed != healthy+5*sim.Millisecond {
+		t.Fatalf("5ms delay: %v, want %v", delayed, healthy+5*sim.Millisecond)
+	}
+}

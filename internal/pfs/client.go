@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 
 	"bps/internal/netsim"
@@ -39,16 +40,24 @@ func (cl *Client) Open(p *sim.Proc, name string) (*File, error) {
 	return f, err
 }
 
+// ErrRPCTimeout reports that a server failed to reply within the
+// recovery policy's per-RPC timeout.
+var ErrRPCTimeout = errors.New("pfs: rpc timeout")
+
 // job is one RPC shipped to a server: a list of contiguous local pieces to
-// read or write on behalf of one client call.
+// read or write on behalf of one client call. All pieces share one stripe
+// position. Under recovery, every attempt is a fresh job with a fresh
+// future: a timed-out job may still be sitting in a server queue, and its
+// eventual completion must not touch the retry's state.
 type job struct {
-	client *Client
-	file   *File
-	pieces []chunk
-	write  bool
-	bytes  int64
-	done   *sim.Future
-	err    error
+	client  *Client
+	file    *File
+	pieces  []chunk
+	write   bool
+	bytes   int64
+	replica bool // service against the position's replica file
+	done    *sim.Future
+	err     error
 }
 
 // Read reads size bytes at global offset off, blocking the calling
@@ -103,27 +112,143 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 		})
 	}
 
+	var err error
+	if cl.cluster.cfg.Recovery.Enabled {
+		err = cl.accessRecovered(p, f, jobs)
+	} else {
+		err = cl.accessDirect(p, f, jobs)
+	}
+	sp.End()
+	return err
+}
+
+// accessDirect is the historical fire-and-wait path: ship every RPC,
+// wait for every reply, aggregate whatever failed. No timeouts, no
+// retries — and no extra events, so healthy-stack schedules are
+// byte-for-byte what they were before recovery existed.
+func (cl *Client) accessDirect(p *sim.Proc, f *File, jobs []*job) error {
 	fabric := cl.cluster.fabric
 	for _, j := range jobs {
 		srv := cl.cluster.servers[f.layout.Servers[j.pieces[0].pos]]
 		// Ship the request message. For writes the payload travels with
 		// the request; for reads it comes back in the reply.
 		msg := cl.cluster.cfg.RequestMsgBytes
-		if write {
+		if j.write {
 			msg += j.bytes
 		}
 		fabric.Transfer(p, cl.nic, srv.nic, msg)
 		srv.queue.Put(j)
 	}
-	var firstErr error
+	var errs []error
 	for _, j := range jobs {
 		j.done.Wait(p)
-		if j.err != nil && firstErr == nil {
-			firstErr = j.err
+		if j.err != nil {
+			errs = append(errs, fmt.Errorf("pfs: ios%d: %w", f.layout.Servers[j.pieces[0].pos], j.err))
 		}
 	}
-	sp.End()
-	return firstErr
+	return errors.Join(errs...)
+}
+
+// accessRecovered drives each per-server RPC through the recovery state
+// machine. Fan-out RPCs run as child processes so one straggling or
+// dead server's timeout and retries overlap the others' progress, like
+// a real client's per-request threads.
+func (cl *Client) accessRecovered(p *sim.Proc, f *File, jobs []*job) error {
+	if len(jobs) == 1 {
+		return cl.runRecovered(p, f, jobs[0])
+	}
+	e := cl.cluster.eng
+	wg := e.NewWaitGroup()
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("%s.rpc%d", p.Name(), i), func(sub *sim.Proc) {
+			errs[i] = cl.runRecovered(sub, f, j)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	return errors.Join(errs...)
+}
+
+// runRecovered executes one per-server RPC under the recovery policy:
+// send, wait with a per-RPC timeout, and on failure retry with capped
+// exponential backoff plus engine-RNG jitter, alternating to the
+// position's replica server when failover is enabled. Every attempt
+// ships a fresh job with a fresh future — an abandoned attempt may
+// still be serviced later (wasted work, as in a real system), and its
+// late completion must not wake anyone.
+func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
+	c := cl.cluster
+	rc := c.cfg.Recovery
+	pos := base.pieces[0].pos
+	backoff := rc.Backoff
+	useReplica := false
+	var errs []error
+	for attempt := 0; ; attempt++ {
+		j := base
+		if attempt > 0 {
+			j = &job{
+				client:  cl,
+				file:    f,
+				pieces:  base.pieces,
+				write:   base.write,
+				bytes:   base.bytes,
+				replica: useReplica,
+				done:    c.eng.NewFuture(),
+			}
+		}
+		srvID := f.layout.Servers[pos]
+		if j.replica {
+			srvID = f.replicaServer(pos)
+		}
+		srv := c.servers[srvID]
+		msg := c.cfg.RequestMsgBytes
+		if j.write {
+			msg += j.bytes
+		}
+		c.fabric.Transfer(p, cl.nic, srv.nic, msg)
+		srv.queue.Put(j)
+
+		replied := j.done.WaitTimeout(p, rc.Timeout)
+		switch {
+		case replied && j.err == nil:
+			return nil
+		case replied:
+			errs = append(errs, fmt.Errorf("pfs: ios%d attempt %d: %w", srvID, attempt+1, j.err))
+		default:
+			c.timeouts.Add(1)
+			errs = append(errs, fmt.Errorf("pfs: ios%d attempt %d: %w", srvID, attempt+1, ErrRPCTimeout))
+		}
+		if attempt >= rc.MaxRetries {
+			c.failed.Add(1)
+			return errors.Join(errs...)
+		}
+
+		// Back off before the retry; the span makes the recovery gap
+		// visible on the proc's Chrome-trace track.
+		c.retries.Add(1)
+		var rsp obs.Span
+		if c.o.Tracing() {
+			rsp = c.o.Begin(p, "pfs", "retry", map[string]any{
+				"server": srvID, "attempt": attempt + 1, "backoff_ns": int64(backoff),
+			})
+		}
+		jitter := sim.Time(c.eng.Rand().Int63n(int64(backoff/2) + 1))
+		p.Sleep(backoff + jitter)
+		rsp.End()
+		backoff *= 2
+		if backoff > rc.MaxBackoff {
+			backoff = rc.MaxBackoff
+		}
+		if rc.Failover && f.hasReplica(pos) {
+			useReplica = !useReplica
+			if useReplica {
+				c.failovers.Add(1)
+			}
+		}
+	}
 }
 
 // worker is a server request-handler process: it drains the queue, does
@@ -131,6 +256,19 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 func (s *Server) worker(p *sim.Proc) {
 	for {
 		j := s.queue.Get(p).(*job)
+		if s.faults != nil {
+			now := p.Now()
+			if s.faults.Down(now) {
+				// Drop the job without completing its future: the
+				// client's per-RPC timeout is what notices.
+				s.dropped.Add(1)
+				continue
+			}
+			if d := s.faults.SlowDelay(now); d > 0 {
+				s.slowed.Add(1)
+				p.Sleep(d)
+			}
+		}
 		s.requests.Add(1)
 		s.bytes.Add(j.bytes)
 		var sp obs.Span
@@ -140,7 +278,7 @@ func (s *Server) worker(p *sim.Proc) {
 			})
 		}
 		for _, piece := range j.pieces {
-			lf := j.file.local[piece.pos]
+			lf := j.file.localFor(piece.pos, j.replica)
 			var err error
 			if j.write {
 				err = lf.WriteAt(p, piece.localOff, piece.size)

@@ -38,6 +38,79 @@ type Config struct {
 	// time (lookup/open). Default 200 µs; metadata RPCs also pay the
 	// fabric's round-trip cost and queue under load.
 	MetadataService sim.Time
+
+	// Recovery configures the client-side recovery policy (per-RPC
+	// timeout, bounded retries with capped exponential backoff,
+	// failover to replica servers). Disabled by default; when disabled
+	// the client access path is exactly the historical one.
+	Recovery RecoveryConfig
+
+	// Faults, when non-nil, supplies each server's fault model at
+	// cluster construction. It requires Recovery.Enabled: a down server
+	// silently drops jobs, and only the recovery path can time them out
+	// — NewCluster panics on the inconsistent combination rather than
+	// letting clients deadlock.
+	Faults func(id int) ServerFaults
+}
+
+// ServerFaults is one server's fault model, queried by its workers.
+// Implementations must be pure functions of simulated time (see
+// internal/faults): workers on different engines may interleave
+// arbitrarily under parallel sweeps, and only stateless answers keep
+// results bit-identical.
+type ServerFaults interface {
+	// Down reports whether the server drops jobs at time now (permanent
+	// death or a transient fail window).
+	Down(now sim.Time) bool
+
+	// SlowDelay returns extra per-job service delay at time now.
+	SlowDelay(now sim.Time) sim.Time
+}
+
+// RecoveryConfig is the client-side recovery policy.
+type RecoveryConfig struct {
+	// Enabled turns the recovery path on. All other fields are ignored
+	// (and no replicas are created) when false.
+	Enabled bool
+
+	// Timeout is the per-RPC timeout, measured from when the request
+	// has been handed to the server queue. Default 50 ms.
+	Timeout sim.Time
+
+	// MaxRetries bounds the retry attempts after the first try.
+	// Default 4.
+	MaxRetries int
+
+	// Backoff is the initial retry backoff, doubling per attempt up to
+	// MaxBackoff, plus jitter of up to half the current backoff drawn
+	// from the engine's RNG. Defaults 1 ms and 16 ms.
+	Backoff    sim.Time
+	MaxBackoff sim.Time
+
+	// Failover alternates retry attempts between a chunk's primary
+	// server and its replica (chained declustering: position i's
+	// replica lives on the layout's next server). Files created on a
+	// failover-enabled cluster allocate replica files at create time.
+	Failover bool
+}
+
+func (r RecoveryConfig) withDefaults() RecoveryConfig {
+	if !r.Enabled {
+		return r
+	}
+	if r.Timeout <= 0 {
+		r.Timeout = 50 * sim.Millisecond
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 4
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = sim.Millisecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 16 * sim.Millisecond
+	}
+	return r
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +126,7 @@ func (c Config) withDefaults() Config {
 	if c.MetadataService <= 0 {
 		c.MetadataService = 200 * sim.Microsecond
 	}
+	c.Recovery = c.Recovery.withDefaults()
 	return c
 }
 
@@ -67,9 +141,13 @@ type Cluster struct {
 	mds     *metadataServer
 
 	// Observability handles; all nil-safe when the engine is unobserved.
-	o      *obs.Observer
-	fanout *obs.Histogram // servers touched per client access
-	mdsOps *obs.Counter
+	o         *obs.Observer
+	fanout    *obs.Histogram // servers touched per client access
+	mdsOps    *obs.Counter
+	retries   *obs.Counter // RPC retry attempts across all clients
+	timeouts  *obs.Counter // RPCs abandoned on timeout
+	failovers *obs.Counter // retries redirected to a replica server
+	failed    *obs.Counter // RPCs that exhausted their retry budget
 }
 
 // metadataServer services lookup/open RPCs, one at a time.
@@ -82,16 +160,19 @@ type metadataServer struct {
 // Server is one I/O server: NIC + local file system + request queue
 // drained by worker processes.
 type Server struct {
-	id    int
-	nic   *netsim.NIC
-	fs    *fsim.FileSystem
-	queue *sim.Queue
+	id     int
+	nic    *netsim.NIC
+	fs     *fsim.FileSystem
+	queue  *sim.Queue
+	faults ServerFaults // nil = healthy server
 
 	// Observability handles; all nil-safe when the engine is unobserved.
 	o         *obs.Observer
 	requests  *obs.Counter
 	bytes     *obs.Counter
-	serveName string // precomputed span name
+	dropped   *obs.Counter // jobs silently dropped while down
+	slowed    *obs.Counter // jobs delayed by a slow window
+	serveName string       // precomputed span name
 }
 
 // ID returns the server's index within the cluster.
@@ -104,6 +185,9 @@ func (s *Server) FS() *fsim.FileSystem { return s.fs }
 // ServerWorkers handler processes per server.
 func NewCluster(e *sim.Engine, fabric *netsim.Fabric, cfg Config, devices []device.Device) *Cluster {
 	cfg = cfg.withDefaults()
+	if cfg.Faults != nil && !cfg.Recovery.Enabled {
+		panic("pfs: Config.Faults requires Recovery.Enabled — a down server drops jobs silently, and only the recovery path can time them out")
+	}
 	c := &Cluster{
 		eng:    e,
 		fabric: fabric,
@@ -118,6 +202,10 @@ func NewCluster(e *sim.Engine, fabric *netsim.Fabric, cfg Config, devices []devi
 	reg := c.o.Registry()
 	c.fanout = reg.Histogram("pfs/client/fanout")
 	c.mdsOps = reg.Counter("pfs/mds/ops")
+	c.retries = reg.Counter("pfs/client/retries")
+	c.timeouts = reg.Counter("pfs/client/timeouts")
+	c.failovers = reg.Counter("pfs/client/failovers")
+	c.failed = reg.Counter("pfs/client/failed_rpcs")
 	if reg != nil {
 		svc := c.mds.svc
 		reg.Probe("pfs/mds/utilization", func() float64 { return svc.Utilization(e.Now()) })
@@ -133,7 +221,12 @@ func NewCluster(e *sim.Engine, fabric *netsim.Fabric, cfg Config, devices []devi
 			o:         c.o,
 			requests:  reg.Counter(fmt.Sprintf("pfs/ios%d/requests", i)),
 			bytes:     reg.Counter(fmt.Sprintf("pfs/ios%d/bytes", i)),
+			dropped:   reg.Counter(fmt.Sprintf("pfs/ios%d/dropped", i)),
+			slowed:    reg.Counter(fmt.Sprintf("pfs/ios%d/slowed", i)),
 			serveName: fmt.Sprintf("ios%d serve", i),
+		}
+		if cfg.Faults != nil {
+			srv.faults = cfg.Faults(i)
 		}
 		if reg != nil {
 			q := srv.queue
@@ -216,6 +309,9 @@ type File struct {
 	layout  Layout
 	// local[i] is the backing file on layout.Servers[i]'s file system.
 	local []*fsim.File
+	// replica[i], when failover is enabled, is position i's replica on
+	// the layout's next server (chained declustering); nil otherwise.
+	replica []*fsim.File
 }
 
 // Name returns the file name.
@@ -253,8 +349,46 @@ func (c *Cluster) Create(name string, size int64, layout Layout) (*File, error) 
 		}
 		f.local = append(f.local, lf)
 	}
+	// Failover needs somewhere to fail over to: allocate each position's
+	// replica on the layout's next server (chained declustering). Only
+	// failover-enabled clusters pay the extra allocation, so healthy
+	// stacks are byte-for-byte unchanged.
+	if c.cfg.Recovery.Enabled && c.cfg.Recovery.Failover && len(layout.Servers) > 1 {
+		for pos := range layout.Servers {
+			localSize := localSizeFor(size, layout.StripeSize, len(layout.Servers), pos)
+			if localSize == 0 {
+				localSize = 1
+			}
+			srv := c.servers[f.replicaServer(pos)]
+			rf, err := srv.fs.Create(fmt.Sprintf("%s.r%d", name, pos), localSize)
+			if err != nil {
+				return nil, fmt.Errorf("pfs: create replica %q pos %d on server %d: %w", name, pos, srv.id, err)
+			}
+			f.replica = append(f.replica, rf)
+		}
+	}
 	c.files[name] = f
 	return f, nil
+}
+
+// replicaServer returns the cluster server ID hosting position pos's
+// replica: the next server in the layout's round-robin order.
+func (f *File) replicaServer(pos int) int {
+	return f.layout.Servers[(pos+1)%len(f.layout.Servers)]
+}
+
+// hasReplica reports whether position pos has a replica file.
+func (f *File) hasReplica(pos int) bool {
+	return pos < len(f.replica) && f.replica[pos] != nil
+}
+
+// localFor returns the backing file a job at position pos touches:
+// the primary local file, or the replica when the job failed over.
+func (f *File) localFor(pos int, replica bool) *fsim.File {
+	if replica && pos < len(f.replica) {
+		return f.replica[pos]
+	}
+	return f.local[pos]
 }
 
 // Open returns an existing file without consuming simulated time

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bps/internal/experiments"
+)
+
+// WriteFaultFigure renders the FaultSweep figure. It differs from
+// WriteFigure in one column: each run reports its application-visible
+// error count — the accesses that exhausted the recovery policy's
+// retry budget — which is what separates a degraded-but-recovering run
+// from one that is actually losing work.
+func WriteFaultFigure(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", f.Notes)
+	}
+	fmt.Fprintf(w, "  %-12s %12s %12s %10s %8s %14s %12s %12s %16s\n",
+		f.XLabel, "exec(s)", "T(s)", "ops", "errors", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)")
+	for _, pt := range f.Points {
+		m := pt.Metrics
+		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %8d %14.1f %12.2f %12.4f %16.0f\n",
+			pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops, pt.Errors,
+			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS())
+	}
+	if f.CC != nil {
+		writeCC(w, f)
+		WriteCCBars(w, f, 24)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,28 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteFaultFigure(t *testing.T) {
+	f := fakeFigure(false)
+	f.ID = "faults"
+	f.Notes = "note text"
+	f.Points[1].Errors = 7
+	var buf bytes.Buffer
+	WriteFaultFigure(&buf, f)
+	out := buf.String()
+	for _, want := range []string{"Faults", "errors", "note: note text", "normalized CC", "CC bars"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault figure output missing %q:\n%s", want, out)
+		}
+	}
+	// The per-run table carries the error column's value.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " b ") && !strings.Contains(line, " 7 ") {
+			t.Errorf("row for point b lost its error count: %q", line)
+		}
+	}
+}

@@ -125,6 +125,12 @@ type Future struct {
 	done    bool
 	when    Time
 	waiters []*Proc
+
+	// onComplete callbacks run synchronously inside Complete, after the
+	// waiters have been scheduled. WaitTimeout uses them to observe
+	// completion without registering p as a plain waiter, so completion
+	// and timeout can never both wake the same process.
+	onComplete []func()
 }
 
 // NewFuture returns an incomplete Future.
@@ -149,6 +155,10 @@ func (f *Future) Complete() {
 		f.eng.wake(p)
 	}
 	f.waiters = nil
+	for _, fn := range f.onComplete {
+		fn()
+	}
+	f.onComplete = nil
 }
 
 // Wait suspends p until the future completes. Returns immediately if it
@@ -159,6 +169,42 @@ func (f *Future) Wait(p *Proc) {
 	}
 	f.waiters = append(f.waiters, p)
 	p.park()
+}
+
+// WaitTimeout suspends p until the future completes or d nanoseconds
+// elapse, whichever comes first. It reports whether the future completed
+// within the window. On timeout the future is left untouched: a later
+// Complete still runs (and wakes any other waiters) but no longer
+// concerns p.
+//
+// The timeout timer is a foreground event: a wait on a future that will
+// never complete (a dead server's reply) must still count as pending
+// work, or the engine would report a spurious deadlock once the rest of
+// the foreground calendar drains. The cost is that the engine clock runs
+// to the timer's expiry even when the future completes first.
+func (f *Future) WaitTimeout(p *Proc, d Time) bool {
+	if f.done {
+		return true
+	}
+	if d < 0 {
+		panic("sim: negative timeout")
+	}
+	e := f.eng
+	// settled flips synchronously when completion or the timer fires
+	// first, so exactly one of them schedules the wake for p.
+	settled, completed := false, false
+	fire := func(ok bool) {
+		if settled {
+			return
+		}
+		settled = true
+		completed = ok
+		e.wake(p)
+	}
+	f.onComplete = append(f.onComplete, func() { fire(true) })
+	e.At(e.now+d, func() { fire(false) })
+	p.park()
+	return completed
 }
 
 // WaitAll suspends p until every future in fs has completed.

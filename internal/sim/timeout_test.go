@@ -1,0 +1,140 @@
+package sim
+
+import "testing"
+
+func TestWaitTimeoutCompletesFirst(t *testing.T) {
+	e := NewEngine(1)
+	f := e.NewFuture()
+	e.At(Millisecond, func() { f.Complete() })
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		got = f.WaitTimeout(p, 10*Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("WaitTimeout = false, want completion")
+	}
+	if at != Millisecond {
+		t.Errorf("woke at %v, want completion time %v", at, Millisecond)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	// The future never completes: the waiter must time out rather than
+	// deadlock — the timeout timer is a foreground event.
+	e := NewEngine(1)
+	f := e.NewFuture()
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		got = f.WaitTimeout(p, 5*Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("WaitTimeout = true on a future that never completed")
+	}
+	if at != 5*Millisecond {
+		t.Errorf("woke at %v, want timeout expiry %v", at, 5*Millisecond)
+	}
+	if f.Done() {
+		t.Error("timeout completed the future")
+	}
+}
+
+func TestWaitTimeoutAlreadyDone(t *testing.T) {
+	e := NewEngine(1)
+	f := e.NewFuture()
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		f.Complete()
+		got = f.WaitTimeout(p, Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got || at != 0 {
+		t.Errorf("WaitTimeout on done future = (%v at %v), want immediate true", got, at)
+	}
+}
+
+// TestWaitTimeoutLateCompletion is the recovery-path protocol: after a
+// timeout the abandoned future may still complete (a slow server finally
+// replying). The late completion must not wake or disturb the timed-out
+// process, but must still wake plain waiters.
+func TestWaitTimeoutLateCompletion(t *testing.T) {
+	e := NewEngine(1)
+	f := e.NewFuture()
+	e.At(8*Millisecond, func() { f.Complete() })
+	wakes := 0
+	var plainAt Time
+	e.Spawn("timed", func(p *Proc) {
+		if f.WaitTimeout(p, 2*Millisecond) {
+			t.Error("timed waiter saw completion before its timeout")
+		}
+		wakes++
+		// Sleep past the late completion; a double wake would resume the
+		// sleep early or panic the engine.
+		p.Sleep(10 * Millisecond)
+		wakes++
+	})
+	e.Spawn("plain", func(p *Proc) {
+		f.Wait(p)
+		plainAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 2 {
+		t.Errorf("timed waiter woke %d times, want 2", wakes)
+	}
+	if plainAt != 8*Millisecond {
+		t.Errorf("plain waiter woke at %v, want %v", plainAt, 8*Millisecond)
+	}
+}
+
+// TestWaitTimeoutSameInstant pins the tie-break: a completion scheduled
+// at exactly the timeout's expiry, but earlier in calendar order, wins.
+func TestWaitTimeoutSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	f := e.NewFuture()
+	// Scheduled before the waiter even starts, so at t=5ms this event
+	// precedes the timeout timer registered later.
+	e.At(5*Millisecond, func() { f.Complete() })
+	var got bool
+	e.Spawn("waiter", func(p *Proc) {
+		got = f.WaitTimeout(p, 5*Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("completion at the same instant (earlier seq) lost to the timeout")
+	}
+}
+
+func TestWaitTimeoutNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	f := e.NewFuture()
+	e.Spawn("waiter", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative timeout did not panic")
+			}
+		}()
+		f.WaitTimeout(p, -1)
+	})
+	// The panic is trapped by the deferred recover inside the proc body,
+	// so Run itself succeeds.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"bps/internal/device"
+	"bps/internal/faults"
 	"bps/internal/fsim"
 	"bps/internal/netsim"
 	"bps/internal/pfs"
@@ -103,6 +104,25 @@ type ClusterSpec struct {
 	Servers int
 	Media   Media
 	Clients int
+
+	// Faults, when its plan is enabled, wires fault injection into
+	// every layer of the cluster: device wrappers, the fabric's link
+	// faults, and per-server fail/slow windows. An enabled plan also
+	// turns on client recovery (a cluster that injects faults without
+	// retries would deadlock on the first dropped job).
+	Faults faults.Config
+
+	// Recovery overrides the client recovery policy. The zero value
+	// means: recovery off for healthy clusters, DefaultRecovery() when
+	// Faults is enabled.
+	Recovery pfs.RecoveryConfig
+}
+
+// DefaultRecovery is the recovery policy fault-injected testbeds use
+// unless the spec overrides it: pfs defaults (50 ms RPC timeout, 4
+// retries, 1–16 ms backoff) plus failover to replica servers.
+func DefaultRecovery() pfs.RecoveryConfig {
+	return pfs.RecoveryConfig{Enabled: true, Failover: true}
 }
 
 // NewCluster builds the cluster testbed: Gigabit fabric with a finite
@@ -115,16 +135,31 @@ func NewCluster(e *sim.Engine, spec ClusterSpec) (*pfs.Cluster, []*pfs.Client) {
 		FrameOverhead: sim.Microsecond,
 		BackplaneRate: BackplaneRate,
 	})
+	if lf := faults.NewLink(spec.Faults); lf != nil {
+		fabric.SetFaults(lf)
+	}
 	devs := make([]device.Device, spec.Servers)
 	for i := range devs {
-		devs[i] = NewDevice(e, spec.Media)
+		devs[i] = faults.WrapDevice(e, NewDevice(e, spec.Media), spec.Faults,
+			fmt.Sprintf("ios%d.%s", i, spec.Media))
 	}
-	cluster := pfs.NewCluster(e, fabric, pfs.Config{
+	pcfg := pfs.Config{
 		ServerFS: fsim.Config{
 			CacheBytes: ServerCacheBytes,
 			ReadAhead:  ServerReadAhead,
 		},
-	}, devs)
+		Recovery: spec.Recovery,
+	}
+	if spec.Faults.Enabled() {
+		if !pcfg.Recovery.Enabled {
+			pcfg.Recovery = DefaultRecovery()
+		}
+		if spec.Faults.ServerEnabled() {
+			plan := spec.Faults
+			pcfg.Faults = func(id int) pfs.ServerFaults { return faults.NewServerFaults(plan, id) }
+		}
+	}
+	cluster := pfs.NewCluster(e, fabric, pcfg, devs)
 	clients := make([]*pfs.Client, spec.Clients)
 	for i := range clients {
 		clients[i] = cluster.NewClient(fmt.Sprintf("cn%d", i))

@@ -7,6 +7,7 @@ import (
 	"bps/internal/core"
 	"bps/internal/device"
 	"bps/internal/experiments"
+	"bps/internal/faults"
 	"bps/internal/fsim"
 	"bps/internal/pfs"
 	"bps/internal/sim"
@@ -56,6 +57,17 @@ type Storage struct {
 	// access after it has consumed its full service time — the paper's
 	// §III.A non-successful accesses, which still count in B.
 	FaultEvery uint64
+
+	// FaultRate, when positive, degrades the whole stack with a
+	// seed-deterministic fault plan of that intensity (per-access device
+	// fault probability; stragglers, throughput degradation, network
+	// drops/delays, and server fail/slow/death scale with it — see
+	// internal/faults.Profile). Cluster stacks also enable the client
+	// recovery policy: per-RPC timeouts, capped exponential backoff with
+	// jitter, and failover to replica servers. Local stacks inject
+	// device-layer faults only, surfacing them as application-visible
+	// errors that still count in B.
+	FaultRate float64
 }
 
 // RunConfig carries the common knobs of a simulated run.
@@ -165,9 +177,10 @@ func SimulateConcurrentApps(cfg RunConfig, apps ...AppSpec) (combined RunReport,
 			Servers: cfg.Storage.Servers,
 			Media:   cfg.Storage.Media,
 			Clients: 0,
+			Faults:  faultPlan(cfg),
 		})
 	} else {
-		localFS = fsim.New(e, testbed.NewDevice(e, cfg.Storage.Media), fsim.Config{Name: "local"})
+		localFS = fsim.New(e, localDevice(e, cfg), fsim.Config{Name: "local"})
 	}
 	moved := func() int64 {
 		if cluster != nil {
@@ -253,6 +266,25 @@ func appEnv(e *sim.Engine, cluster *pfs.Cluster, localFS *fsim.FileSystem, ai in
 	return env, nil
 }
 
+// faultPlan derives the run's fault plan from the public FaultRate
+// knob. The plan seed is a pure function of the run seed, so two runs
+// with equal configs inject identical fault patterns; a zero rate
+// yields a disabled plan that changes nothing.
+func faultPlan(cfg RunConfig) faults.Config {
+	return faults.Profile(experiments.DeriveSeed(cfg.Seed, "bps-fault-plan", "run"), cfg.Storage.FaultRate)
+}
+
+// localDevice builds a local-stack device with the configured fault
+// wrappers: the deterministic every-Nth injector (FaultEvery) and/or
+// the seeded plan's device faults (FaultRate).
+func localDevice(e *sim.Engine, cfg RunConfig) device.Device {
+	dev := testbed.NewDevice(e, cfg.Storage.Media)
+	if cfg.Storage.FaultEvery > 0 {
+		dev = faults.NewEveryNth(dev, cfg.Storage.FaultEvery)
+	}
+	return faults.WrapDevice(e, dev, faultPlan(cfg), "local."+cfg.Storage.Media.String())
+}
+
 // simulate builds the configured stack on a fresh engine and runs w.
 func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w workload.Runner) (RunReport, error) {
 	if procs < 1 {
@@ -264,9 +296,8 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 	var err error
 	switch {
 	case cfg.Storage.Servers == 0:
-		if cfg.Storage.FaultEvery > 0 {
-			dev := device.NewFaultInjector(testbed.NewDevice(e, cfg.Storage.Media), cfg.Storage.FaultEvery)
-			env, err = testbed.NewLocalEnvOn(e, dev, procs, perProcBytes)
+		if cfg.Storage.FaultEvery > 0 || cfg.Storage.FaultRate > 0 {
+			env, err = testbed.NewLocalEnvOn(e, localDevice(e, cfg), procs, perProcBytes)
 		} else {
 			env, err = testbed.NewLocalEnv(e, cfg.Storage.Media, procs, perProcBytes)
 		}
@@ -275,12 +306,14 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 			Servers: cfg.Storage.Servers,
 			Media:   cfg.Storage.Media,
 			Clients: procs,
+			Faults:  faultPlan(cfg),
 		}, totalBytes)
 	default:
 		env, err = testbed.NewPinnedFilesEnv(e, testbed.ClusterSpec{
 			Servers: cfg.Storage.Servers,
 			Media:   cfg.Storage.Media,
 			Clients: procs,
+			Faults:  faultPlan(cfg),
 		}, perProcBytes)
 	}
 	if err != nil {
@@ -325,6 +358,7 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 		cluster, _ := testbed.NewCluster(e, testbed.ClusterSpec{
 			Servers: cfg.Storage.Servers,
 			Media:   cfg.Storage.Media,
+			Faults:  faultPlan(cfg),
 		})
 		cenv := &workload.ClusterEnv{Cluster: cluster}
 		for slot, pid := range pids {
@@ -337,7 +371,7 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 		}
 		env = cenv
 	} else {
-		fs := fsim.New(e, testbed.NewDevice(e, cfg.Storage.Media), fsim.Config{Name: "replay"})
+		fs := fsim.New(e, localDevice(e, cfg), fsim.Config{Name: "replay"})
 		lenv := &workload.LocalEnv{FS: fs}
 		for slot, pid := range pids {
 			f, err := fs.Create(fmt.Sprintf("replay%d", slot), sizes[pid])
