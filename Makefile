@@ -1,11 +1,20 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet build test race bench bench-all bench-smoke faults ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke faults clientcache ci
 
 all: ci
 
 vet:
 	go vet ./...
+
+# staticcheck runs when the binary is installed (CI installs it; locally
+# it is optional).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	go build ./...
@@ -15,6 +24,12 @@ test:
 
 race:
 	go test -race ./...
+
+# cover writes the coverage profile CI uploads as an artifact and prints
+# the per-function summary.
+cover:
+	go test -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -n 1
 
 # bench runs the engine micro- and macro-benchmarks and records them as
 # test2json lines in BENCH_sim.json (the committed perf baseline), then
@@ -40,4 +55,9 @@ faults:
 	go run ./cmd/bpsbench -faults -scale 0.002 -fault-rates 0,0.016 -q
 	go run ./cmd/bpsbench -faults -scale 0.002 -fault-rates 0,0.064 -q
 
-ci: vet build race bench-smoke
+# clientcache runs the client-cache sweep smoke: BPS must diverge from
+# BW as the hit rate rises (the test suite asserts it; this prints it).
+clientcache:
+	go run ./cmd/bpsbench -fig clientcache -scale 0.002 -q
+
+ci: vet staticcheck build race bench-smoke

@@ -456,7 +456,7 @@ func BenchmarkAblationCollectiveVsSieving(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		target := middleware.LocalTarget{File: f}
+		target := middleware.NewTarget(f.Layer(), f.Name(), f.Size())
 		var coll *middleware.Collective
 		if collective {
 			coll = middleware.NewCollective(e, target, procs, middleware.CollectiveConfig{})

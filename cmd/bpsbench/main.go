@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults] [-scale 0.015625] [-seed 42] [-parallel N]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache] [-scale 0.015625] [-seed 42] [-parallel N]
 //	bpsbench -faults [-fault-rates 0,0.004,0.016]
+//	bpsbench -fig clientcache
 //
 // The output for a CC figure is the per-run measurement table followed by
 // the normalized correlation coefficient of each metric against
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, or faults")
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, or clientcache")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
@@ -183,6 +184,13 @@ func run(suite *experiments.Suite, fig string, quiet bool) error {
 			return err
 		}
 		report.WriteFaultFigure(out, f)
+		return nil
+	case experiments.ClientCacheFigureID:
+		f, err := timed(suite, fig, quiet)
+		if err != nil {
+			return err
+		}
+		report.WriteClientCacheFigure(out, f)
 		return nil
 	default:
 		f, err := timed(suite, fig, quiet)

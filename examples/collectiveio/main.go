@@ -65,7 +65,7 @@ func run(name string, useCollective bool) core.Metrics {
 	if err != nil {
 		log.Fatal(err)
 	}
-	target := middleware.LocalTarget{File: f}
+	target := middleware.NewTarget(f.Layer(), f.Name(), f.Size())
 
 	collectors := make([]*trace.Collector, nprocs)
 	var coll *middleware.Collective

@@ -1,0 +1,14 @@
+package device
+
+import (
+	"bps/internal/ioreq"
+	"bps/internal/sim"
+)
+
+// Layer adapts d into a terminal ioreq layer: request offsets are
+// device byte offsets.
+func Layer(d Device) ioreq.Layer {
+	return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+		return d.Access(p, Request{Offset: req.Off, Size: req.Size, Write: req.Op == ioreq.OpWrite})
+	})
+}

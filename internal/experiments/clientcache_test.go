@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClientCacheFigureStaysOutOfPaperOutputs(t *testing.T) {
+	for _, id := range FigureIDs {
+		if id == ClientCacheFigureID {
+			t.Fatal("clientcache must not join the paper-reproduction figure list")
+		}
+	}
+	for _, id := range ExtensionIDs {
+		if id == ClientCacheFigureID {
+			t.Fatal("clientcache must not join the extension figure list")
+		}
+	}
+}
+
+// TestClientCacheParallelMatchesSequential pins the determinism contract
+// through the full layer pipeline — client cache, pfs client, netsim,
+// devices — including the Aux hit rates read back from the shared cache
+// objects after the sweep.
+func TestClientCacheParallelMatchesSequential(t *testing.T) {
+	run := func(parallel int) Figure {
+		s := NewSuite(Params{Scale: 1.0 / 512, Seed: 42, Parallel: parallel})
+		f, err := s.Figure(ClientCacheFigureID)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return f
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		t.Errorf("points differ between parallel=1 and parallel=8:\nseq: %+v\npar: %+v", seq.Points, par.Points)
+	}
+	if !reflect.DeepEqual(seq.CC, par.CC) {
+		t.Errorf("CC tables differ between parallel=1 and parallel=8")
+	}
+}
+
+// TestClientCacheSweepShowsDivergence checks the figure tells the story
+// it exists for: hit rate rises with capacity, execution time falls, and
+// BPS pulls away from file-system bandwidth (which cannot see hits that
+// move no file-system bytes).
+func TestClientCacheSweepShowsDivergence(t *testing.T) {
+	s := NewSuite(Params{Scale: 1.0 / 512, Seed: 42})
+	f, err := s.Figure(ClientCacheFigureID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != len(clientCacheFractions) {
+		t.Fatalf("points = %d, want %d", len(f.Points), len(clientCacheFractions))
+	}
+	for i, pt := range f.Points {
+		if pt.Errors != 0 {
+			t.Fatalf("%s: %d errors in a healthy sweep", pt.Label, pt.Errors)
+		}
+		if pt.Aux == nil {
+			t.Fatalf("%s: missing Aux hit rate", pt.Label)
+		}
+		if i > 0 && pt.Aux["hit_rate"] < f.Points[i-1].Aux["hit_rate"] {
+			t.Fatalf("hit rate fell from %v (%s) to %v (%s)",
+				f.Points[i-1].Aux["hit_rate"], f.Points[i-1].Label, pt.Aux["hit_rate"], pt.Label)
+		}
+	}
+	off, full := f.Points[0], f.Points[len(f.Points)-1]
+	if off.Aux["hit_rate"] != 0 {
+		t.Fatalf("cache-off hit rate = %v, want 0", off.Aux["hit_rate"])
+	}
+	if full.Aux["hit_rate"] < 0.5 {
+		t.Fatalf("file-sized cache hit rate = %v, want > 0.5", full.Aux["hit_rate"])
+	}
+	if full.Metrics.ExecTime >= off.Metrics.ExecTime {
+		t.Fatal("cache hits did not reduce execution time")
+	}
+	// The divergence: BPS/BW grows as hits serve blocks without moving
+	// file-system bytes.
+	ratio := func(p Point) float64 { return p.Metrics.BPS() / p.Metrics.Bandwidth() }
+	if ratio(full) <= 1.5*ratio(off) {
+		t.Fatalf("BPS/BW ratio off=%v full=%v: expected clear divergence", ratio(off), ratio(full))
+	}
+}

@@ -70,6 +70,10 @@ type Point struct {
 	Label   string
 	Metrics core.Metrics
 	Errors  int
+
+	// Aux carries sweep-specific side measurements (e.g. the clientcache
+	// sweep's hit rate) keyed by name; nil for most sweeps.
+	Aux map[string]float64
 }
 
 // Figure is the reproduction of one paper figure.
@@ -181,9 +185,11 @@ func (s *Suite) Figure(id string) (Figure, error) {
 		return s.extension(id)
 	case FaultFigureID:
 		return s.figFaults()
+	case ClientCacheFigureID:
+		return s.figClientCache()
 	default:
-		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, and %q)",
-			id, FigureIDs, ExtensionIDs, FaultFigureID)
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, %q, and %q)",
+			id, FigureIDs, ExtensionIDs, FaultFigureID, ClientCacheFigureID)
 	}
 }
 

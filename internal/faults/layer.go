@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bps/internal/device"
+	"bps/internal/ioreq"
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
+
+// Wrap returns an ioreq middleware applying the plan's device-layer
+// misbehavior to any layer stack — the generic form of WrapDevice for
+// pipelines whose terminal layer is not a device.Device. Semantics
+// match the Injector exactly: the inner layer serves first (so injected
+// faults consume the full service time of the request they fail), then
+// straggler and degradation stalls extend it, then the error draw fires.
+// Errors wrap device.ErrInjectedFault, so errors.Is sees through every
+// layer above. A disabled plan returns nil, which ioreq.Chain skips —
+// the zero-rate sweep point runs the exact unwrapped pipeline.
+//
+// label keys the middleware's private RNG stream and metric names, like
+// WrapDevice's label; the stream scheme is shared, so a layer wrapper
+// and a device wrapper with the same label inject identical patterns.
+func Wrap(e *sim.Engine, c Config, label string) ioreq.Middleware {
+	if !c.Device.enabled() {
+		return nil
+	}
+	cfg := c.Device
+	cfg.ErrorRate = clamp01(cfg.ErrorRate)
+	cfg.StragglerRate = clamp01(cfg.StragglerRate)
+	cfg.DegradeRate = clamp01(cfg.DegradeRate)
+	rng := rand.New(rand.NewSource(deriveSeed(c.Seed, "device", label)))
+	reg := obs.Get(e).Registry()
+	base := "faults/layer/" + label + "/"
+	injected := reg.Counter(base + "errors")
+	stalls := reg.Counter(base + "stalls")
+	degraded := reg.Counter(base + "degraded")
+	return func(next ioreq.Layer) ioreq.Layer {
+		return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+			if err := next.Serve(p, req); err != nil {
+				return err
+			}
+			if cfg.StragglerRate > 0 && rng.Float64() < cfg.StragglerRate {
+				stalls.Add(1)
+				p.Sleep(cfg.StragglerDelay)
+			}
+			if cfg.DegradeRate > 0 && rng.Float64() < cfg.DegradeRate {
+				degraded.Add(1)
+				p.Sleep(sim.TransferTime(req.Size, cfg.DegradedRate))
+			}
+			if cfg.ErrorRate > 0 && rng.Float64() < cfg.ErrorRate {
+				injected.Add(1)
+				return fmt.Errorf("faults: %s: %w", label, device.ErrInjectedFault)
+			}
+			return nil
+		})
+	}
+}

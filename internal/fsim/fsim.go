@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"bps/internal/device"
+	"bps/internal/ioreq"
 	"bps/internal/sim"
 )
 
@@ -81,7 +82,7 @@ type FileSystem struct {
 	cfg      Config
 	files    map[string]*File
 	nextFree int64
-	cache    *pageCache
+	cache    *ioreq.LRU[int64]
 
 	moved int64 // bytes actually transferred to/from the device
 
@@ -104,7 +105,7 @@ func New(e *sim.Engine, dev device.Device, cfg Config) *FileSystem {
 		files: make(map[string]*File),
 	}
 	if cfg.CacheBytes > 0 {
-		fs.cache = newPageCache(cfg.CacheBytes / cfg.BlockSize)
+		fs.cache = ioreq.NewLRU[int64](cfg.CacheBytes / cfg.BlockSize)
 	}
 	if cfg.WriteBack {
 		if fs.cache == nil {
@@ -188,7 +189,7 @@ func (fs *FileSystem) flusher(p *sim.Proc) {
 			// does for async write-back); data is still marked clean.
 			_ = fs.dev.Access(p, device.Request{Offset: pages[i] * bs, Size: n, Write: true})
 			for _, pg := range pages[i : j+1] {
-				fs.cache.insert(pg)
+				fs.cache.Insert(pg)
 			}
 			i = j + 1
 		}
@@ -217,7 +218,7 @@ func (fs *FileSystem) Moved() int64 { return fs.moved }
 // flush. No-op when caching is disabled.
 func (fs *FileSystem) FlushCache() {
 	if fs.cache != nil {
-		fs.cache.reset()
+		fs.cache.Reset()
 	}
 }
 
@@ -226,7 +227,7 @@ func (fs *FileSystem) CacheHits() uint64 {
 	if fs.cache == nil {
 		return 0
 	}
-	return fs.cache.hits
+	return fs.cache.Hits()
 }
 
 // File is an open file with a physical extent mapping.
@@ -374,7 +375,7 @@ func (f *File) allCached(off, size int64) bool {
 			n = runLen
 		}
 		for pg := devOff / bs; pg <= (devOff+n-1)/bs; pg++ {
-			if !f.fs.cache.contains(pg) && !f.fs.isDirty(pg) {
+			if !f.fs.cache.Contains(pg) && !f.fs.isDirty(pg) {
 				return false
 			}
 		}
@@ -482,7 +483,7 @@ func (fs *FileSystem) cachedTransfer(p *sim.Proc, devOff, size int64, write bool
 			return err
 		}
 		for pg := first; pg <= last; pg++ {
-			fs.cache.insert(pg)
+			fs.cache.Insert(pg)
 		}
 		return nil
 	}
@@ -500,13 +501,13 @@ func (fs *FileSystem) cachedTransfer(p *sim.Proc, devOff, size int64, write bool
 			return err
 		}
 		for pg := missStart; pg < endPage; pg++ {
-			fs.cache.insert(pg)
+			fs.cache.Insert(pg)
 		}
 		missStart = -1
 		return nil
 	}
 	for pg := first; pg <= last; pg++ {
-		if fs.cache.lookup(pg) || fs.isDirty(pg) {
+		if fs.cache.Lookup(pg) || fs.isDirty(pg) {
 			if err := flushMisses(pg); err != nil {
 				return err
 			}

@@ -1,0 +1,17 @@
+package fsim
+
+import (
+	"bps/internal/ioreq"
+	"bps/internal/sim"
+)
+
+// Layer adapts the file into a terminal ioreq layer: requests map to
+// the file's ReadAt/WriteAt by op.
+func (f *File) Layer() ioreq.Layer {
+	return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+		if req.Op == ioreq.OpWrite {
+			return f.WriteAt(p, req.Off, req.Size)
+		}
+		return f.ReadAt(p, req.Off, req.Size)
+	})
+}

@@ -1,0 +1,75 @@
+package ioreq
+
+import "container/list"
+
+// LRU is a least-recently-used presence set, lifted from the fsim page
+// cache so every caching layer shares one implementation. It tracks
+// presence only: the simulator never stores data, just the timing
+// consequences of hits and misses.
+type LRU[K comparable] struct {
+	capacity int64
+	lru      *list.List          // front = most recent; values are keys
+	index    map[K]*list.Element // key → node
+	hits     uint64
+	misses   uint64
+}
+
+// NewLRU builds an LRU holding at most capacity keys (minimum 1).
+func NewLRU[K comparable](capacity int64) *LRU[K] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K]{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[K]*list.Element),
+	}
+}
+
+// Lookup reports whether k is cached, updating recency and counters.
+func (c *LRU[K]) Lookup(k K) bool {
+	if el, ok := c.index[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports presence without touching recency or counters.
+func (c *LRU[K]) Contains(k K) bool {
+	_, ok := c.index[k]
+	return ok
+}
+
+// Insert adds k (or refreshes it), evicting the least-recently-used key
+// when over capacity.
+func (c *LRU[K]) Insert(k K) {
+	if el, ok := c.index[k]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[k] = c.lru.PushFront(k)
+	for int64(c.lru.Len()) > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(K))
+	}
+}
+
+// Reset drops every key but keeps the hit/miss counters: they are
+// cumulative across flushes, like kernel counters.
+func (c *LRU[K]) Reset() {
+	c.lru.Init()
+	c.index = make(map[K]*list.Element)
+}
+
+// Len returns the number of cached keys.
+func (c *LRU[K]) Len() int { return c.lru.Len() }
+
+// Hits returns the cumulative lookup hit count.
+func (c *LRU[K]) Hits() uint64 { return c.hits }
+
+// Misses returns the cumulative lookup miss count.
+func (c *LRU[K]) Misses() uint64 { return c.misses }

@@ -1,0 +1,105 @@
+package ioreq
+
+import (
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
+
+// Trace returns a middleware that opens one Chrome-trace span per
+// request under category cat with the given span name, carrying the
+// request's op, offset and size. The observability layer adds the
+// threading "req" argument from the proc's request context, so the span
+// joins the access's end-to-end span chain. On an uninstrumented engine
+// the middleware is free of allocations and side effects.
+func Trace(e *sim.Engine, cat, name string) Middleware {
+	o := obs.Get(e)
+	return func(next Layer) Layer {
+		return Func(func(p *sim.Proc, req *Request) error {
+			if !o.Tracing() {
+				return next.Serve(p, req)
+			}
+			sp := o.Begin(p, cat, name, map[string]any{
+				"op":     req.Op.String(),
+				"offset": req.Off,
+				"size":   req.Size,
+			})
+			err := next.Serve(p, req)
+			sp.End()
+			return err
+		})
+	}
+}
+
+// Stats returns a middleware counting requests, bytes and errors into
+// the engine's metrics registry under prefix (e.g. "ioreq/clientcache").
+// All handles are nil-safe, so the middleware costs nothing on an
+// uninstrumented engine.
+func Stats(e *sim.Engine, prefix string) Middleware {
+	reg := obs.Get(e).Registry()
+	requests := reg.Counter(prefix + "/requests")
+	bytes := reg.Counter(prefix + "/bytes")
+	errs := reg.Counter(prefix + "/errors")
+	return func(next Layer) Layer {
+		return Func(func(p *sim.Proc, req *Request) error {
+			requests.Inc()
+			bytes.Add(req.Size)
+			err := next.Serve(p, req)
+			if err != nil {
+				errs.Inc()
+			}
+			return err
+		})
+	}
+}
+
+// RetryConfig parameterizes the generic Retry middleware: a bounded
+// capped-exponential-backoff retry loop for layer stacks that have no
+// specialized recovery. (The pfs client keeps its own timeout/failover
+// state machine — Retry is for the simple cases, e.g. a faulty local
+// device behind a workload.)
+type RetryConfig struct {
+	// MaxRetries bounds retries after the first attempt (default 3).
+	MaxRetries int
+	// Backoff is the initial retry delay (default 1 ms), doubling per
+	// retry up to MaxBackoff (default 16 ms), plus engine-RNG jitter.
+	Backoff    sim.Time
+	MaxBackoff sim.Time
+	// RetryIf filters retryable errors; nil retries every error.
+	RetryIf func(error) bool
+}
+
+// Retry returns a middleware that re-serves failed requests with capped
+// exponential backoff, bumping req.Attempt on each try. The jitter draw
+// comes from the engine's RNG, keeping runs seed-deterministic.
+func Retry(e *sim.Engine, cfg RetryConfig) Middleware {
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = sim.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 16 * sim.Millisecond
+	}
+	rng := e.Rand()
+	return func(next Layer) Layer {
+		return Func(func(p *sim.Proc, req *Request) error {
+			backoff := cfg.Backoff
+			for attempt := 0; ; attempt++ {
+				req.Attempt = attempt
+				err := next.Serve(p, req)
+				if err == nil || attempt >= cfg.MaxRetries {
+					return err
+				}
+				if cfg.RetryIf != nil && !cfg.RetryIf(err) {
+					return err
+				}
+				jitter := sim.Time(rng.Int63n(int64(backoff)/2 + 1))
+				p.Sleep(backoff + jitter)
+				if backoff *= 2; backoff > cfg.MaxBackoff {
+					backoff = cfg.MaxBackoff
+				}
+			}
+		})
+	}
+}

@@ -4,60 +4,87 @@
 // the BPS paper captures its trace records (§III.B step 1): every
 // application access is recorded with the *application-required* size,
 // regardless of how much data the layers below actually move.
+//
+// Since the layer-pipeline refactor, the middleware speaks ioreq: a
+// Target is the head of an ioreq.Layer pipeline plus the file identity
+// requests carry, and each application call allocates one ioreq.Request
+// whose ID threads every derived sub-request — and therefore every
+// trace span — down to the device.
 package middleware
 
 import (
 	"fmt"
 
-	"bps/internal/fsim"
-	"bps/internal/pfs"
+	"bps/internal/ioreq"
 	"bps/internal/sim"
 	"bps/internal/trace"
 )
 
-// Target is an open file as seen from the middleware: local or parallel.
-type Target interface {
-	// ReadAt / WriteAt block the calling process for the simulated
-	// duration of the transfer.
-	ReadAt(p *sim.Proc, off, size int64) error
-	WriteAt(p *sim.Proc, off, size int64) error
-	Size() int64
+// Target is an open file as seen from the middleware: the head of a
+// layer pipeline plus the file identity the pipeline serves. The old
+// LocalTarget/PFSTarget adapter pair collapsed into this one value —
+// local files, PFS clients and raw devices all enter as ioreq.Layer
+// pipelines.
+type Target struct {
+	layer ioreq.Layer
+	file  string
+	size  int64
 }
 
-// LocalTarget adapts a local (fsim) file.
-type LocalTarget struct{ File *fsim.File }
-
-// ReadAt implements Target.
-func (t LocalTarget) ReadAt(p *sim.Proc, off, size int64) error {
-	return t.File.ReadAt(p, off, size)
+// NewTarget binds a layer pipeline to a file identity and size.
+func NewTarget(layer ioreq.Layer, file string, size int64) Target {
+	return Target{layer: layer, file: file, size: size}
 }
 
-// WriteAt implements Target.
-func (t LocalTarget) WriteAt(p *sim.Proc, off, size int64) error {
-	return t.File.WriteAt(p, off, size)
+// Size returns the file's logical size.
+func (t Target) Size() int64 { return t.size }
+
+// File returns the file identity requests carry.
+func (t Target) File() string { return t.file }
+
+// Layer returns the pipeline head.
+func (t Target) Layer() ioreq.Layer { return t.layer }
+
+// With returns a copy of the target headed by l (same file identity).
+func (t Target) With(l ioreq.Layer) Target {
+	t.layer = l
+	return t
 }
 
-// Size implements Target.
-func (t LocalTarget) Size() int64 { return t.File.Size() }
-
-// PFSTarget adapts a parallel (pfs) file accessed through a client.
-type PFSTarget struct {
-	Client *pfs.Client
-	File   *pfs.File
+// Wrap returns a copy of the target with mws chained in front; nil
+// entries are skipped, so optional layers compose without branching.
+func (t Target) Wrap(mws ...ioreq.Middleware) Target {
+	t.layer = ioreq.Chain(t.layer, mws...)
+	return t
 }
 
-// ReadAt implements Target.
-func (t PFSTarget) ReadAt(p *sim.Proc, off, size int64) error {
-	return t.Client.Read(p, t.File, off, size)
+// NewRequest allocates a request against this target's file with a
+// fresh engine-unique ID.
+func (t Target) NewRequest(p *sim.Proc, op ioreq.Op, off, size int64) *ioreq.Request {
+	return ioreq.New(p.Engine(), op, off, size, t.file)
 }
 
-// WriteAt implements Target.
-func (t PFSTarget) WriteAt(p *sim.Proc, off, size int64) error {
-	return t.Client.Write(p, t.File, off, size)
+// Serve runs one request down the pipeline with the request installed
+// as the proc's context, so every span opened below carries its ID.
+func (t Target) Serve(p *sim.Proc, req *ioreq.Request) error {
+	prev := p.Ctx()
+	p.SetCtx(req)
+	err := t.layer.Serve(p, req)
+	p.SetCtx(prev)
+	return err
 }
 
-// Size implements Target.
-func (t PFSTarget) Size() int64 { return t.File.Size() }
+// ReadAt serves one freshly allocated read request — the convenience
+// path for callers that do not record application traces (collective
+// aggregators, tests).
+func (t Target) ReadAt(p *sim.Proc, off, size int64) error {
+	return t.Serve(p, t.NewRequest(p, ioreq.OpRead, off, size))
+}
+
+// WriteAt serves one freshly allocated write request.
+func (t Target) WriteAt(p *sim.Proc, off, size int64) error {
+	return t.Serve(p, t.NewRequest(p, ioreq.OpWrite, off, size))
+}
 
 // POSIX is the plain interface: one application call maps to one
 // file-system access and one trace record.
@@ -74,7 +101,9 @@ func NewPOSIX(target Target, col *trace.Collector) *POSIX {
 // Read performs and records one application read.
 func (io *POSIX) Read(p *sim.Proc, off, size int64) error {
 	start := p.Now()
-	err := io.target.ReadAt(p, off, size)
+	req := io.target.NewRequest(p, ioreq.OpRead, off, size)
+	req.PID = io.col.PID()
+	err := io.target.Serve(p, req)
 	io.col.Record(trace.BlocksOf(size), start, p.Now())
 	return err
 }
@@ -82,7 +111,9 @@ func (io *POSIX) Read(p *sim.Proc, off, size int64) error {
 // Write performs and records one application write.
 func (io *POSIX) Write(p *sim.Proc, off, size int64) error {
 	start := p.Now()
-	err := io.target.WriteAt(p, off, size)
+	req := io.target.NewRequest(p, ioreq.OpWrite, off, size)
+	req.PID = io.col.PID()
+	err := io.target.Serve(p, req)
 	io.col.Record(trace.BlocksOf(size), start, p.Now())
 	return err
 }
@@ -129,7 +160,8 @@ func (c MPIIOConfig) withDefaults() MPIIOConfig {
 // MPIIO is the MPI-IO interface for one process. A noncontiguous call is
 // recorded as a single application access whose size is the sum of the
 // region sizes — the data the application required — even though with
-// sieving the layers below move the whole covering extent.
+// sieving the layers below move the whole covering extent. Every piece
+// the call decomposes into shares one request ID.
 type MPIIO struct {
 	target Target
 	col    *trace.Collector
@@ -152,7 +184,9 @@ func (m *MPIIO) Write(p *sim.Proc, off, size int64) error {
 		return fmt.Errorf("middleware: write [%d,%d) invalid", off, off+size)
 	}
 	start := p.Now()
-	err := m.target.WriteAt(p, off, size)
+	req := m.target.NewRequest(p, ioreq.OpWrite, off, size)
+	req.PID = m.col.PID()
+	err := m.target.Serve(p, req)
 	m.col.Record(trace.BlocksOf(size), start, p.Now())
 	return err
 }
@@ -165,19 +199,23 @@ func (m *MPIIO) ReadRegions(p *sim.Proc, regions []Region) error {
 		return err
 	}
 	start := p.Now()
+	// One logical call, one request identity: every sieve piece or
+	// per-region access below is a Child of req.
+	req := m.target.NewRequest(p, ioreq.OpRead, regions[0].Off, required)
+	req.PID = m.col.PID()
 	if m.cfg.DataSieving && len(regions) > 1 {
-		err = m.sieveRead(p, regions)
+		err = m.sieveRead(p, req, regions)
 	} else {
-		err = m.directRead(p, regions)
+		err = m.directRead(p, req, regions)
 	}
 	m.col.Record(trace.BlocksOf(required), start, p.Now())
 	return err
 }
 
 // directRead issues one underlying access per region.
-func (m *MPIIO) directRead(p *sim.Proc, regions []Region) error {
+func (m *MPIIO) directRead(p *sim.Proc, req *ioreq.Request, regions []Region) error {
 	for _, r := range regions {
-		if err := m.target.ReadAt(p, r.Off, r.Size); err != nil {
+		if err := m.target.Serve(p, req.Child(r.Off, r.Size)); err != nil {
 			return err
 		}
 	}
@@ -187,7 +225,7 @@ func (m *MPIIO) directRead(p *sim.Proc, regions []Region) error {
 // sieveRead reads the covering extent [first.Off, last.End) in sieve-
 // buffer-sized pieces; the holes between regions are moved through the
 // I/O system although the application never asked for them.
-func (m *MPIIO) sieveRead(p *sim.Proc, regions []Region) error {
+func (m *MPIIO) sieveRead(p *sim.Proc, req *ioreq.Request, regions []Region) error {
 	lo := regions[0].Off
 	hi := regions[len(regions)-1].End()
 	for off := lo; off < hi; off += m.cfg.SieveBufSize {
@@ -195,7 +233,7 @@ func (m *MPIIO) sieveRead(p *sim.Proc, regions []Region) error {
 		if off+n > hi {
 			n = hi - off
 		}
-		if err := m.target.ReadAt(p, off, n); err != nil {
+		if err := m.target.Serve(p, req.Child(off, n)); err != nil {
 			return err
 		}
 	}

@@ -20,7 +20,7 @@ func localSetup(e *sim.Engine, size int64) (Target, *fsim.FileSystem) {
 	if err != nil {
 		panic(err)
 	}
-	return LocalTarget{File: f}, fs
+	return NewTarget(f.Layer(), f.Name(), f.Size()), fs
 }
 
 func TestPOSIXRecordsAccesses(t *testing.T) {
@@ -209,7 +209,7 @@ func TestMPIIOOverPFS(t *testing.T) {
 			return
 		}
 		client := cluster.NewClient("c0")
-		m := NewMPIIO(PFSTarget{Client: client, File: f}, col, MPIIOConfig{DataSieving: true, SieveBufSize: 1 << 20})
+		m := NewMPIIO(NewTarget(client.Layer(f), f.Name(), f.Size()), col, MPIIOConfig{DataSieving: true, SieveBufSize: 1 << 20})
 		if err := m.ReadRegions(p, Regions(0, 64, 256, 8192)); err != nil {
 			t.Error(err)
 		}
@@ -236,7 +236,7 @@ func TestPrefetcherSequentialHits(t *testing.T) {
 		target, fs = localSetup(e, 16<<20)
 		pf = NewPrefetcher(target, 4<<20)
 		col := trace.NewCollector(1)
-		io := NewPOSIX(pf, col)
+		io := NewPOSIX(target.With(pf), col)
 		for off := int64(0); off < 8<<20; off += 64 << 10 {
 			if err := io.Read(p, off, 64<<10); err != nil {
 				t.Error(err)
@@ -268,9 +268,10 @@ func TestPrefetcherRandomBypasses(t *testing.T) {
 	e.Spawn("app", func(p *sim.Proc) {
 		target, _ := localSetup(e, 16<<20)
 		pf = NewPrefetcher(target, 4<<20)
+		tgt := target.With(pf)
 		offsets := []int64{8 << 20, 0, 12 << 20, 4 << 20}
 		for _, off := range offsets {
-			if err := pf.ReadAt(p, off, 4096); err != nil {
+			if err := tgt.ReadAt(p, off, 4096); err != nil {
 				t.Error(err)
 			}
 		}
@@ -292,18 +293,19 @@ func TestPrefetcherWriteInvalidates(t *testing.T) {
 	e.Spawn("app", func(p *sim.Proc) {
 		target, _ := localSetup(e, 16<<20)
 		pf = NewPrefetcher(target, 4<<20)
+		tgt := target.With(pf)
 		// Prime the staging buffer sequentially from offset 0.
-		if err := pf.ReadAt(p, 0, 64<<10); err != nil {
+		if err := tgt.ReadAt(p, 0, 64<<10); err != nil {
 			t.Error(err)
 		}
-		if err := pf.ReadAt(p, 64<<10, 64<<10); err != nil {
+		if err := tgt.ReadAt(p, 64<<10, 64<<10); err != nil {
 			t.Error(err)
 		}
-		if err := pf.WriteAt(p, 0, 4096); err != nil {
+		if err := tgt.WriteAt(p, 0, 4096); err != nil {
 			t.Error(err)
 		}
 		hitsBefore := pf.Hits()
-		if err := pf.ReadAt(p, 128<<10, 4096); err != nil {
+		if err := tgt.ReadAt(p, 128<<10, 4096); err != nil {
 			t.Error(err)
 		}
 		if pf.Hits() != hitsBefore {

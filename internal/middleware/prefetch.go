@@ -1,18 +1,20 @@
 package middleware
 
 import (
+	"bps/internal/ioreq"
 	"bps/internal/sim"
 )
 
-// Prefetcher wraps a Target with sequential readahead: when accesses
-// arrive in ascending adjacent order it reads Window bytes ahead into a
+// Prefetcher is a sequential-readahead layer: when read requests arrive
+// in ascending adjacent order it fetches Window bytes ahead into a
 // client-side staging buffer, so later sequential reads are served at
 // memory speed. Like data sieving, this is an optimization that moves
 // *more* data through the I/O system than the application requires — the
 // second source of BW/BPS divergence the paper names (§I, prefetching
-// [13,14]).
+// [13,14]). Fetch sub-requests keep the demand request's identity.
 type Prefetcher struct {
-	Target Target
+	inner ioreq.Layer
+	size  int64 // file size, bounds the readahead window
 
 	// Window is the readahead size (default 4 MiB).
 	Window int64
@@ -27,35 +29,32 @@ type Prefetcher struct {
 	prefetched         int64
 }
 
-// NewPrefetcher wraps target.
+// NewPrefetcher builds a readahead layer in front of target's pipeline;
+// install it with target.With(pf).
 func NewPrefetcher(target Target, window int64) *Prefetcher {
 	if window <= 0 {
 		window = 4 << 20
 	}
-	return &Prefetcher{Target: target, Window: window, MemRate: 5e9}
+	return &Prefetcher{inner: target.Layer(), size: target.Size(), Window: window, MemRate: 5e9}
 }
 
 // Hits returns the number of reads fully served from the staging buffer.
 func (pf *Prefetcher) Hits() uint64 { return pf.hits }
 
-// Misses returns the number of reads that went to the underlying target.
+// Misses returns the number of reads that went to the underlying layer.
 func (pf *Prefetcher) Misses() uint64 { return pf.misses }
 
 // PrefetchedBytes returns the total bytes fetched ahead of demand.
 func (pf *Prefetcher) PrefetchedBytes() int64 { return pf.prefetched }
 
-// Size implements Target.
-func (pf *Prefetcher) Size() int64 { return pf.Target.Size() }
-
-// WriteAt implements Target; writes bypass and invalidate the staging
-// buffer (keeping the model conservative).
-func (pf *Prefetcher) WriteAt(p *sim.Proc, off, size int64) error {
-	pf.stagedLo, pf.stagedHi = 0, 0
-	return pf.Target.WriteAt(p, off, size)
-}
-
-// ReadAt implements Target.
-func (pf *Prefetcher) ReadAt(p *sim.Proc, off, size int64) error {
+// Serve implements ioreq.Layer. Writes bypass and invalidate the
+// staging buffer (keeping the model conservative).
+func (pf *Prefetcher) Serve(p *sim.Proc, req *ioreq.Request) error {
+	if req.Op == ioreq.OpWrite {
+		pf.stagedLo, pf.stagedHi = 0, 0
+		return pf.inner.Serve(p, req)
+	}
+	off, size := req.Off, req.Size
 	if off >= pf.stagedLo && off+size <= pf.stagedHi {
 		// Full staging-buffer hit: memory-speed copy.
 		pf.hits++
@@ -69,17 +68,17 @@ func (pf *Prefetcher) ReadAt(p *sim.Proc, off, size int64) error {
 
 	if !sequential {
 		pf.stagedLo, pf.stagedHi = 0, 0
-		return pf.Target.ReadAt(p, off, size)
+		return pf.inner.Serve(p, req)
 	}
 	// Sequential miss: fetch the demand plus the readahead window.
 	fetch := size + pf.Window
-	if off+fetch > pf.Target.Size() {
-		fetch = pf.Target.Size() - off
+	if off+fetch > pf.size {
+		fetch = pf.size - off
 	}
 	if fetch < size {
 		fetch = size
 	}
-	if err := pf.Target.ReadAt(p, off, fetch); err != nil {
+	if err := pf.inner.Serve(p, req.Child(off, fetch)); err != nil {
 		return err
 	}
 	pf.prefetched += fetch - size

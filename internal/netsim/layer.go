@@ -1,0 +1,17 @@
+package netsim
+
+import (
+	"bps/internal/ioreq"
+	"bps/internal/sim"
+)
+
+// TransferLayer adapts one fabric leg (src → dst) into an ioreq layer:
+// a request's Size bytes travel the leg, paying the fabric's latency,
+// bandwidth and MTU segmentation costs. Compose it in front of a remote
+// terminal layer to model the wire hop of a request path explicitly.
+func TransferLayer(f *Fabric, src, dst *NIC) ioreq.Layer {
+	return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+		f.Transfer(p, src, dst, req.Size)
+		return nil
+	})
+}

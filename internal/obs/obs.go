@@ -146,9 +146,21 @@ func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Spa
 	if o == nil || o.buf == nil {
 		return Span{}
 	}
+	if r, ok := p.Ctx().(traceIDed); ok {
+		if args == nil {
+			args = make(map[string]any, 1)
+		}
+		args["req"] = r.TraceID()
+	}
 	idx := o.buf.span(p, cat, name, o.eng.Now(), args)
 	return Span{o: o, idx: idx, ok: true}
 }
+
+// traceIDed is the request-context hook: when the calling proc's context
+// (sim.Proc.Ctx) implements it — ioreq.Request does — every span opened
+// on that proc carries a "req" argument with the request identifier, the
+// thread that stitches one logical access's spans across layers.
+type traceIDed interface{ TraceID() uint64 }
 
 // Counter emits a Chrome counter-track sample at the current simulated
 // time (distinct from Registry counters: this is a trace visualization).

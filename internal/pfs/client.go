@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"bps/internal/ioreq"
 	"bps/internal/netsim"
 	"bps/internal/obs"
 	"bps/internal/sim"
@@ -56,41 +57,61 @@ type job struct {
 	write   bool
 	bytes   int64
 	replica bool // service against the position's replica file
+	req     *ioreq.Request
 	done    *sim.Future
 	err     error
+}
+
+// Layer adapts the client+file pair into an ioreq layer: requests
+// entering Serve fan out as per-server RPCs exactly as Read/Write do,
+// and the request travels with each job so server-side spans join the
+// access's end-to-end span chain.
+func (cl *Client) Layer(f *File) ioreq.Layer {
+	return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+		return cl.access(p, f, req)
+	})
 }
 
 // Read reads size bytes at global offset off, blocking the calling
 // process until every involved server has replied.
 func (cl *Client) Read(p *sim.Proc, f *File, off, size int64) error {
-	return cl.access(p, f, off, size, false)
+	return cl.access(p, f, ioreq.New(cl.cluster.eng, ioreq.OpRead, off, size, f.name))
 }
 
 // Write writes size bytes at global offset off.
 func (cl *Client) Write(p *sim.Proc, f *File, off, size int64) error {
-	return cl.access(p, f, off, size, true)
+	return cl.access(p, f, ioreq.New(cl.cluster.eng, ioreq.OpWrite, off, size, f.name))
 }
 
-func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) error {
+func (cl *Client) access(p *sim.Proc, f *File, req *ioreq.Request) error {
+	off, size, write := req.Off, req.Size, req.Op == ioreq.OpWrite
 	if size <= 0 {
 		return fmt.Errorf("pfs: access size %d must be positive", size)
 	}
 	if off < 0 || off+size > f.size {
 		return fmt.Errorf("pfs: access [%d,%d) out of bounds (file size %d)", off, off+size, f.size)
 	}
+	prev := p.Ctx()
+	p.SetCtx(req)
+	defer p.SetCtx(prev)
 	chunks := f.chunksFor(off, size)
 
 	// Group chunks by server position, preserving per-server order: one
-	// RPC per involved server, as PVFS aggregates list I/O.
+	// RPC per involved server, as PVFS aggregates list I/O. Each job
+	// carries a child of req routed to its stripe position, so every
+	// server-side span keeps the request's identity.
 	perServer := make(map[int]*job)
 	var jobs []*job
 	for _, ch := range chunks {
 		j, ok := perServer[ch.pos]
 		if !ok {
+			jr := req.Child(off, 0)
+			jr.Stripe = ch.pos
 			j = &job{
 				client: cl,
 				file:   f,
 				write:  write,
+				req:    jr,
 				done:   cl.cluster.eng.NewFuture(),
 			}
 			perServer[ch.pos] = j
@@ -98,6 +119,7 @@ func (cl *Client) access(p *sim.Proc, f *File, off, size int64, write bool) erro
 		}
 		j.pieces = append(j.pieces, ch)
 		j.bytes += ch.size
+		j.req.Size = j.bytes
 	}
 
 	cl.cluster.fanout.Observe(int64(len(jobs)))
@@ -164,6 +186,7 @@ func (cl *Client) accessRecovered(p *sim.Proc, f *File, jobs []*job) error {
 		i, j := i, j
 		wg.Add(1)
 		e.Spawn(fmt.Sprintf("%s.rpc%d", p.Name(), i), func(sub *sim.Proc) {
+			sub.SetCtx(j.req) // child procs inherit the request context
 			errs[i] = cl.runRecovered(sub, f, j)
 			wg.Done()
 		})
@@ -196,8 +219,13 @@ func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
 				write:   base.write,
 				bytes:   base.bytes,
 				replica: useReplica,
+				req:     base.req,
 				done:    c.eng.NewFuture(),
 			}
+		}
+		if j.req != nil {
+			j.req.Attempt = attempt
+			j.req.Deadline = p.Now() + rc.Timeout
 		}
 		srvID := f.layout.Servers[pos]
 		if j.replica {
@@ -271,6 +299,7 @@ func (s *Server) worker(p *sim.Proc) {
 		}
 		s.requests.Add(1)
 		s.bytes.Add(j.bytes)
+		p.SetCtx(j.req) // server-side spans join the request's span chain
 		var sp obs.Span
 		if s.o.Tracing() {
 			sp = s.o.Begin(p, "pfs", s.serveName, map[string]any{
@@ -298,5 +327,6 @@ func (s *Server) worker(p *sim.Proc) {
 		}
 		sp.End()
 		j.done.Complete()
+		p.SetCtx(nil)
 	}
 }

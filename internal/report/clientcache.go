@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bps/internal/experiments"
+	"bps/internal/trace"
+)
+
+// WriteClientCacheFigure renders the client-cache sweep. It differs
+// from WriteFigure in two columns: each run reports its client-cache
+// hit rate (the sweep's real x-axis) and the BPS/BW ratio — the number
+// that exposes how far application-delivered throughput has pulled away
+// from file-system bandwidth once a cache layer serves requests without
+// moving file-system bytes.
+func WriteClientCacheFigure(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", f.Notes)
+	}
+	fmt.Fprintf(w, "  %-12s %8s %12s %10s %14s %12s %12s %16s %10s\n",
+		f.XLabel, "hit%", "exec(s)", "ops", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)", "BPS/BW")
+	for _, pt := range f.Points {
+		m := pt.Metrics
+		ratio := 0.0
+		if bw := m.Bandwidth(); bw > 0 {
+			ratio = m.BPS() * float64(trace.BlockSize) / bw
+		}
+		fmt.Fprintf(w, "  %-12s %8.1f %12.4f %10d %14.1f %12.2f %12.4f %16.0f %10.2f\n",
+			pt.Label, 100*pt.Aux["hit_rate"], m.ExecTime.Seconds(), m.Ops,
+			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS(), ratio)
+	}
+	if f.CC != nil {
+		writeCC(w, f)
+		WriteCCBars(w, f, 24)
+	}
+	fmt.Fprintln(w)
+}

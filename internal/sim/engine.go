@@ -124,6 +124,9 @@ type Engine struct {
 	trap interface{}
 
 	rng *rand.Rand
+
+	// nextReq is the last request identifier handed out by NextRequestID.
+	nextReq uint64
 }
 
 // waitYield blocks until the currently-running process parks or ends,
@@ -170,6 +173,14 @@ func (e *Engine) Shutdown() {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// NextRequestID returns a fresh nonzero engine-scoped request
+// identifier. IDs are strictly increasing in allocation order, which
+// the engine's serialized execution makes deterministic.
+func (e *Engine) NextRequestID() uint64 {
+	e.nextReq++
+	return e.nextReq
+}
 
 // Events returns the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.nevents }

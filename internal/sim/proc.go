@@ -12,6 +12,7 @@ type Proc struct {
 	name    string
 	resume  chan bool // true = killed by Shutdown
 	started bool
+	ctx     any // current request context (see SetCtx)
 }
 
 // killed is the sentinel panic value that unwinds a process during
@@ -23,6 +24,18 @@ func (p *Proc) Engine() *Engine { return p.eng }
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// Ctx returns the process's current request context (nil when idle).
+// Layers install the in-flight request here so components lower in the
+// stack — and cross-cutting concerns like trace-span tagging — can see
+// which logical access they are serving without every call signature
+// threading it through.
+func (p *Proc) Ctx() any { return p.ctx }
+
+// SetCtx installs v as the process's request context. Callers save the
+// previous value and restore it when their request completes, so nested
+// requests unwind correctly.
+func (p *Proc) SetCtx(v any) { p.ctx = v }
 
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.eng.now }

@@ -1,0 +1,94 @@
+package testbed
+
+import (
+	"errors"
+	"testing"
+
+	"bps/internal/device"
+	"bps/internal/faults"
+	"bps/internal/ioreq"
+	"bps/internal/pfs"
+	"bps/internal/sim"
+)
+
+// sentinelRead builds a cluster from spec and performs one read through
+// the full layer path (workload target → optional client cache → pfs
+// client → netsim → server → device), returning the application-visible
+// error so tests can assert sentinel wrapping end to end.
+func sentinelRead(t *testing.T, spec ClusterSpec) error {
+	t.Helper()
+	e := sim.NewEngine(7)
+	env, err := NewSharedFileEnv(e, spec, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	e.Spawn("app", func(p *sim.Proc) {
+		readErr = env.Target(0).ReadAt(p, 0, 64<<10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return readErr
+}
+
+// quickRecovery keeps the failing-path tests fast: tiny timeout, one
+// retry, no failover.
+func quickRecovery() pfs.RecoveryConfig {
+	return pfs.RecoveryConfig{Enabled: true, Timeout: 2 * sim.Millisecond, MaxRetries: 1, Backoff: sim.Millisecond}
+}
+
+func TestDeviceFaultSentinelSurvivesLayerPath(t *testing.T) {
+	// Every device access fails, so retries and failover exhaust and the
+	// injected sentinel must surface through the pfs %w chain, the client
+	// Layer, and the client cache wrapper.
+	err := sentinelRead(t, ClusterSpec{
+		Servers: 2, Media: SSD, Clients: 1,
+		Faults:      faults.Config{Seed: 3, Device: faults.DeviceConfig{ErrorRate: 1}},
+		ClientCache: ioreq.CacheConfig{CapacityBytes: 1 << 20},
+	})
+	if err == nil {
+		t.Fatal("read on an always-failing device succeeded")
+	}
+	if !errors.Is(err, device.ErrInjectedFault) {
+		t.Fatalf("err = %v, want device.ErrInjectedFault in the chain", err)
+	}
+}
+
+func TestServerFaultSentinelSurvivesLayerPath(t *testing.T) {
+	// Servers drop every job (permanent fail window), so each attempt
+	// ends in an RPC timeout.
+	err := sentinelRead(t, ClusterSpec{
+		Servers: 2, Media: SSD, Clients: 1,
+		Faults: faults.Config{Seed: 3, Server: faults.ServerConfig{
+			Period: 10 * sim.Millisecond, Duration: 10 * sim.Millisecond, FailRate: 1,
+		}},
+		Recovery:    quickRecovery(),
+		ClientCache: ioreq.CacheConfig{CapacityBytes: 1 << 20},
+	})
+	if err == nil {
+		t.Fatal("read against always-down servers succeeded")
+	}
+	if !errors.Is(err, pfs.ErrRPCTimeout) {
+		t.Fatalf("err = %v, want pfs.ErrRPCTimeout in the chain", err)
+	}
+}
+
+func TestLinkFaultSentinelSurvivesLayerPath(t *testing.T) {
+	// Every transfer is held in the switch far longer than the RPC
+	// timeout, so replies never arrive in time.
+	err := sentinelRead(t, ClusterSpec{
+		Servers: 2, Media: SSD, Clients: 1,
+		Faults: faults.Config{Seed: 3, Network: faults.NetworkConfig{
+			DelayRate: 1, Delay: 20 * sim.Millisecond,
+		}},
+		Recovery:    quickRecovery(),
+		ClientCache: ioreq.CacheConfig{CapacityBytes: 1 << 20},
+	})
+	if err == nil {
+		t.Fatal("read across an always-delayed fabric succeeded")
+	}
+	if !errors.Is(err, pfs.ErrRPCTimeout) {
+		t.Fatalf("err = %v, want pfs.ErrRPCTimeout in the chain", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bps/internal/device"
 	"bps/internal/faults"
 	"bps/internal/fsim"
+	"bps/internal/ioreq"
 	"bps/internal/netsim"
 	"bps/internal/pfs"
 	"bps/internal/sim"
@@ -116,6 +117,19 @@ type ClusterSpec struct {
 	// means: recovery off for healthy clusters, DefaultRecovery() when
 	// Faults is enabled.
 	Recovery pfs.RecoveryConfig
+
+	// ClientCache, when its CapacityBytes is positive, layers a shared
+	// client-side page cache with read-ahead in front of every client's
+	// pfs pipeline (see ioreq.CacheConfig). The zero value leaves the
+	// request path exactly as it was before the cache existed.
+	ClientCache ioreq.CacheConfig
+
+	// ServerCache overrides each I/O server's page-cache size: 0 keeps
+	// the testbed default (ServerCacheBytes with ServerReadAhead),
+	// negative disables server caching and readahead entirely — the
+	// configuration the clientcache sweep uses so device traffic tracks
+	// client-cache misses one-for-one.
+	ServerCache int64
 }
 
 // DefaultRecovery is the recovery policy fault-injected testbeds use
@@ -143,10 +157,17 @@ func NewCluster(e *sim.Engine, spec ClusterSpec) (*pfs.Cluster, []*pfs.Client) {
 		devs[i] = faults.WrapDevice(e, NewDevice(e, spec.Media), spec.Faults,
 			fmt.Sprintf("ios%d.%s", i, spec.Media))
 	}
+	scache, sra := int64(ServerCacheBytes), int64(ServerReadAhead)
+	switch {
+	case spec.ServerCache < 0:
+		scache, sra = 0, 0
+	case spec.ServerCache > 0:
+		scache = spec.ServerCache
+	}
 	pcfg := pfs.Config{
 		ServerFS: fsim.Config{
-			CacheBytes: ServerCacheBytes,
-			ReadAhead:  ServerReadAhead,
+			CacheBytes: scache,
+			ReadAhead:  sra,
 		},
 		Recovery: spec.Recovery,
 	}
@@ -176,14 +197,19 @@ func NewSharedFileEnv(e *sim.Engine, spec ClusterSpec, fileSize int64) (*workloa
 		return nil, err
 	}
 	cluster.FlushCaches()
-	return &workload.ClusterEnv{Cluster: cluster, Clients: clients, Files: []*pfs.File{f}}, nil
+	return &workload.ClusterEnv{
+		Cluster: cluster,
+		Clients: clients,
+		Files:   []*pfs.File{f},
+		Cache:   ioreq.NewCache(spec.ClientCache),
+	}, nil
 }
 
 // NewPinnedFilesEnv builds the paper's "pure" concurrency setup
 // (§IV.C.3): one file per client, pinned to server i mod Servers.
 func NewPinnedFilesEnv(e *sim.Engine, spec ClusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {
 	cluster, clients := NewCluster(e, spec)
-	env := &workload.ClusterEnv{Cluster: cluster, Clients: clients}
+	env := &workload.ClusterEnv{Cluster: cluster, Clients: clients, Cache: ioreq.NewCache(spec.ClientCache)}
 	for i := 0; i < spec.Clients; i++ {
 		f, err := cluster.Create(fmt.Sprintf("own%d", i), filePerProc, cluster.PinnedLayout(i%spec.Servers))
 		if err != nil {

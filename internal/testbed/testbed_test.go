@@ -33,7 +33,7 @@ func TestNewLocalEnv(t *testing.T) {
 		t.Fatalf("files = %d", len(env.Files))
 	}
 	// Each pid maps to its own file.
-	if env.Target(0) == env.Target(1) {
+	if env.Target(0).File() == env.Target(1).File() {
 		t.Fatal("pids share a file in own-file mode")
 	}
 }

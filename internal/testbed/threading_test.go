@@ -1,0 +1,61 @@
+package testbed
+
+import (
+	"testing"
+
+	"bps/internal/ioreq"
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
+
+// TestRequestIDThreadsAllLayers verifies the pipeline's end-to-end span
+// chain: one logical application access produces spans at the
+// middleware, pfs client, network, pfs server, and device layers, and
+// every one of them carries the same "req" argument — the request ID
+// minted when the access entered the stack.
+func TestRequestIDThreadsAllLayers(t *testing.T) {
+	e := sim.NewEngine(11)
+	ob := obs.Attach(e, obs.Options{ChromeTrace: true})
+	env, err := NewSharedFileEnv(e, ClusterSpec{Servers: 2, Media: SSD, Clients: 1}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id uint64
+	e.Spawn("app", func(p *sim.Proc) {
+		tgt := env.Target(0).Wrap(ioreq.Trace(e, "middleware", "access"))
+		req := tgt.NewRequest(p, ioreq.OpRead, 64<<10, 128<<10)
+		id = req.ID
+		if err := tgt.Serve(p, req); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("no request ID was minted")
+	}
+	cats := make(map[string]int)
+	for _, ev := range ob.TraceBuffer().Events() {
+		req, ok := ev.Args["req"]
+		if !ok {
+			continue
+		}
+		got, ok := req.(uint64)
+		if !ok || got != id {
+			t.Fatalf("span %s/%s carries req=%v, want %d (one access, one ID)", ev.Cat, ev.Name, req, id)
+		}
+		cats[ev.Cat]++
+	}
+	// The read is striped over two servers, so the pfs/net/device layers
+	// must each contribute at least one span; the middleware wrapper
+	// contributes exactly one.
+	for _, cat := range []string{"middleware", "pfs", "net", "device"} {
+		if cats[cat] == 0 {
+			t.Fatalf("no %s-layer span carries the request ID (got %v)", cat, cats)
+		}
+	}
+	if cats["middleware"] != 1 {
+		t.Fatalf("middleware spans = %d, want 1", cats["middleware"])
+	}
+}

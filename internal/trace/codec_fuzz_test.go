@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenSeed loads the repo's golden record file (CSV form) for corpus
+// seeding; it returns nil when unavailable so `go test` keeps working
+// from any directory.
+func goldenSeed(t *testing.F) []byte {
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", "noop_records.golden"))
+	if err != nil {
+		t.Logf("golden seed unavailable: %v", err)
+		return nil
+	}
+	return b
+}
+
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	// One whole record and one truncated record.
+	one := make([]byte, RecordSize)
+	for i := range one {
+		one[i] = byte(i)
+	}
+	f.Add(one)
+	f.Add(one[:RecordSize-1])
+	if csvBytes := goldenSeed(f); csvBytes != nil {
+		if recs, err := ReadCSV(bytes.NewReader(csvBytes)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, recs); err == nil {
+				f.Add(buf.Bytes())
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			// Only a trailing partial record may fail, and the whole
+			// records before it must still have been decoded.
+			if len(data)%RecordSize == 0 {
+				t.Fatalf("ReadBinary(%d bytes): %v", len(data), err)
+			}
+			if len(recs) != len(data)/RecordSize {
+				t.Fatalf("ReadBinary decoded %d records before error, want %d", len(recs), len(data)/RecordSize)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, recs); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("binary round trip changed bytes:\n got %x\nwant %x", buf.Bytes(), data)
+		}
+	})
+}
+
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add([]byte("pid,blocks,start_ns,end_ns\n"))
+	f.Add([]byte("pid,blocks,start_ns,end_ns\n1,128,0,500\n2,-3,9223372036854775807,-9223372036854775808\n"))
+	f.Add([]byte("pid,blocks\n1,2\n"))
+	if b := goldenSeed(f); b != nil {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, recs); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("ReadCSV of re-encoded output: %v", err)
+		}
+		if len(recs) == 0 && len(back) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(back, recs) {
+			t.Fatalf("CSV round trip changed records:\n got %+v\nwant %+v", back, recs)
+		}
+	})
+}
+
+func FuzzJSONLRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"pid":1,"blocks":128,"start_ns":0,"end_ns":500}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, recs); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("ReadJSONL of re-encoded output: %v", err)
+		}
+		if len(recs) == 0 && len(back) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(back, recs) {
+			t.Fatalf("JSONL round trip changed records:\n got %+v\nwant %+v", back, recs)
+		}
+	})
+}

@@ -51,7 +51,7 @@ func (w HopRead) Start(e *sim.Engine, env Env) (*Pending, error) {
 		pend.collectors[pid] = col
 		target := env.Target(pid)
 		if w.PrefetchWindow > 0 {
-			target = middleware.NewPrefetcher(target, w.PrefetchWindow)
+			target = target.With(middleware.NewPrefetcher(target, w.PrefetchWindow))
 		}
 		rng := rand.New(rand.NewSource(w.Seed + int64(pid)))
 		e.Spawn(fmt.Sprintf("%s.p%d", w.Label, pid), pend.track(func(p *sim.Proc) {

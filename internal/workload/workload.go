@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"bps/internal/fsim"
+	"bps/internal/ioreq"
 	"bps/internal/middleware"
 	"bps/internal/pfs"
 	"bps/internal/sim"
@@ -38,7 +39,8 @@ type LocalEnv struct {
 
 // Target implements Env.
 func (l *LocalEnv) Target(pid int) middleware.Target {
-	return middleware.LocalTarget{File: l.Files[pid%len(l.Files)]}
+	f := l.Files[pid%len(l.Files)]
+	return middleware.NewTarget(f.Layer(), f.Name(), f.Size())
 }
 
 // Moved implements Env.
@@ -50,14 +52,22 @@ type ClusterEnv struct {
 	Cluster *pfs.Cluster
 	Clients []*pfs.Client
 	Files   []*pfs.File
+
+	// Cache, when non-nil, is a shared client-side page cache layered in
+	// front of every target's pfs client (see ioreq.Cache). Nil leaves
+	// the pipeline exactly as before the cache existed.
+	Cache *ioreq.Cache
 }
 
 // Target implements Env.
 func (c *ClusterEnv) Target(pid int) middleware.Target {
-	return middleware.PFSTarget{
-		Client: c.Clients[pid%len(c.Clients)],
-		File:   c.Files[pid%len(c.Files)],
+	cl := c.Clients[pid%len(c.Clients)]
+	f := c.Files[pid%len(c.Files)]
+	t := middleware.NewTarget(cl.Layer(f), f.Name(), f.Size())
+	if c.Cache != nil {
+		t = t.Wrap(c.Cache.Middleware(f.Size()))
 	}
+	return t
 }
 
 // Moved implements Env.

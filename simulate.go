@@ -9,6 +9,7 @@ import (
 	"bps/internal/experiments"
 	"bps/internal/faults"
 	"bps/internal/fsim"
+	"bps/internal/ioreq"
 	"bps/internal/pfs"
 	"bps/internal/sim"
 	"bps/internal/testbed"
@@ -68,6 +69,23 @@ type Storage struct {
 	// device-layer faults only, surfacing them as application-visible
 	// errors that still count in B.
 	FaultRate float64
+
+	// ClientCacheBytes, when positive on a cluster stack, layers a
+	// shared client-side page cache in front of every client: re-read
+	// pages are served at memory speed without touching the fabric or
+	// the servers. Zero leaves the request path exactly as before.
+	ClientCacheBytes int64
+
+	// ClientCacheReadAhead is the client cache's sequential read-ahead
+	// window in bytes (0 = no read-ahead). Only meaningful when
+	// ClientCacheBytes is positive.
+	ClientCacheReadAhead int64
+}
+
+// clientCache translates the public cache knobs into the testbed's
+// cache config.
+func (s Storage) clientCache() ioreq.CacheConfig {
+	return ioreq.CacheConfig{CapacityBytes: s.ClientCacheBytes, ReadAhead: s.ClientCacheReadAhead}
 }
 
 // RunConfig carries the common knobs of a simulated run.
@@ -303,17 +321,19 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 		}
 	case cfg.Storage.SharedFile:
 		env, err = testbed.NewSharedFileEnv(e, testbed.ClusterSpec{
-			Servers: cfg.Storage.Servers,
-			Media:   cfg.Storage.Media,
-			Clients: procs,
-			Faults:  faultPlan(cfg),
+			Servers:     cfg.Storage.Servers,
+			Media:       cfg.Storage.Media,
+			Clients:     procs,
+			Faults:      faultPlan(cfg),
+			ClientCache: cfg.Storage.clientCache(),
 		}, totalBytes)
 	default:
 		env, err = testbed.NewPinnedFilesEnv(e, testbed.ClusterSpec{
-			Servers: cfg.Storage.Servers,
-			Media:   cfg.Storage.Media,
-			Clients: procs,
-			Faults:  faultPlan(cfg),
+			Servers:     cfg.Storage.Servers,
+			Media:       cfg.Storage.Media,
+			Clients:     procs,
+			Faults:      faultPlan(cfg),
+			ClientCache: cfg.Storage.clientCache(),
 		}, perProcBytes)
 	}
 	if err != nil {
