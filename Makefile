@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke faults clientcache ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke faults clientcache attrib ci
 
 all: ci
 
@@ -59,5 +59,17 @@ faults:
 # BW as the hit rate rises (the test suite asserts it; this prints it).
 clientcache:
 	go run ./cmd/bpsbench -fig clientcache -scale 0.002 -q
+
+# attrib runs the critical-path profiler on the pinned-seed fig9
+# workload and diffs the blame table (plus figure) against the golden —
+# any drift in the attribution sweep or the simulation shows up here.
+# The folded flame-graph stacks land in attrib_fig9.folded (CI uploads
+# them as an artifact). Regenerate the golden after an intended change:
+#   go run ./cmd/bpsbench -fig fig9 -scale 0.002 -q -attrib-out attrib_fig9.folded > testdata/attrib_fig9.golden
+attrib:
+	go run ./cmd/bpsbench -fig fig9 -scale 0.002 -q -attrib-out attrib_fig9.folded > attrib_fig9.out
+	diff testdata/attrib_fig9.golden attrib_fig9.out
+	@rm -f attrib_fig9.out
+	@echo "attrib golden OK"
 
 ci: vet staticcheck build race bench-smoke

@@ -42,6 +42,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the last reproduced run's per-layer metrics as CSV here")
 	faultsFig := flag.Bool("faults", false, "shortcut for -fig faults: the BPS-under-degradation FaultSweep")
 	faultRates := flag.String("fault-rates", "", "comma-separated fault rates for the FaultSweep x-axis (default 0,0.001,0.004,0.016,0.064)")
+	attribOut := flag.String("attrib-out", "", "run the critical-path profiler, print the per-layer blame table, and write folded flame-graph stacks here")
+	windows := flag.Float64("windows", 0, "streaming windowed estimator width in seconds (0 = off); prints the per-window BPS/IOPS/BW/ARPT series")
 	flag.Parse()
 
 	if *faultsFig {
@@ -66,10 +68,12 @@ func main() {
 	}
 
 	suite := experiments.NewSuite(params)
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *attribOut != "" || *windows > 0 {
 		suite.SetObserve(&obs.Options{
 			ChromeTrace: *traceOut != "",
 			SampleEvery: sim.Millisecond,
+			Attribution: *attribOut != "",
+			WindowEvery: sim.Time(*windows * float64(sim.Second)),
 		})
 	}
 
@@ -79,7 +83,7 @@ func main() {
 		err = run(suite, *fig, *quiet)
 	}
 	if err == nil {
-		err = writeObservation(suite, *traceOut, *metricsOut)
+		err = writeObservation(suite, *traceOut, *metricsOut, *attribOut, *windows > 0)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
@@ -108,15 +112,16 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
-// writeObservation exports the last instrumented run's Chrome trace
-// and/or per-layer metrics CSV.
-func writeObservation(suite *experiments.Suite, traceOut, metricsOut string) error {
-	if traceOut == "" && metricsOut == "" {
+// writeObservation exports the last instrumented run's Chrome trace,
+// per-layer metrics CSV, and/or attribution report (blame table plus
+// windowed series on stdout, folded stacks to attribOut).
+func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut string, windows bool) error {
+	if traceOut == "" && metricsOut == "" && attribOut == "" && !windows {
 		return nil
 	}
 	last := suite.LastObservation()
 	if last == nil {
-		return fmt.Errorf("-trace-out/-metrics-out: no run was reproduced (tables only?)")
+		return fmt.Errorf("-trace-out/-metrics-out/-attrib-out/-windows: no run was reproduced (tables only?)")
 	}
 	write := func(name string, fn func(io.Writer) error) error {
 		f, err := os.Create(name)
@@ -142,6 +147,16 @@ func writeObservation(suite *experiments.Suite, traceOut, metricsOut string) err
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "[wrote per-layer metrics of run %q to %s]\n", last.Label, metricsOut)
+	}
+	if attribOut != "" || windows {
+		rep := last.Obs.Attribution()
+		report.WriteAttribution(os.Stdout, rep)
+		if attribOut != "" {
+			if err := write(attribOut, rep.WriteFolded); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[wrote folded stacks of run %q to %s]\n", last.Label, attribOut)
+		}
 	}
 	return nil
 }

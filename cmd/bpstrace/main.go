@@ -72,6 +72,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for multi-stack replays (results are identical for any value)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (per-layer spans when combined with -replay)")
 	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires a single -replay stack)")
+	attribOut := flag.String("attrib-out", "", "run the replay's critical-path profiler, print the per-layer blame table, and write folded flame-graph stacks here (requires a single -replay stack)")
+	windows := flag.Float64("windows", 0, "streaming windowed estimator width in seconds for the replay (requires a single -replay stack; distinct from -window, which bins the input trace post hoc)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -91,6 +93,8 @@ func main() {
 		parallel:      *parallel,
 		traceOut:      *traceOut,
 		metricsOut:    *metricsOut,
+		attribOut:     *attribOut,
+		windowsEvery:  *windows,
 	}
 	if err := run(os.Stdout, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "bpstrace:", err)
@@ -111,6 +115,8 @@ type options struct {
 	parallel      int
 	traceOut      string
 	metricsOut    string
+	attribOut     string
+	windowsEvery  float64
 }
 
 func run(w io.Writer, files []string, opts options) error {
@@ -157,6 +163,9 @@ func run(w io.Writer, files []string, opts options) error {
 	if opts.metricsOut != "" && opts.replay == "" {
 		return fmt.Errorf("-metrics-out needs -replay: per-layer metrics only exist for a simulated run")
 	}
+	if (opts.attribOut != "" || opts.windowsEvery > 0) && opts.replay == "" {
+		return fmt.Errorf("-attrib-out/-windows need -replay: attribution only exists for a simulated run")
+	}
 	if opts.replay != "" {
 		if err := printReplay(w, records, opts); err != nil {
 			return err
@@ -193,9 +202,10 @@ func writeFile(name string, fn func(io.Writer) error) error {
 // the collected data.
 func printReplay(w io.Writer, records []bps.Record, opts options) error {
 	stacks := strings.Split(opts.replay, ",")
-	observing := opts.traceOut != "" || opts.metricsOut != ""
+	observing := opts.traceOut != "" || opts.metricsOut != "" ||
+		opts.attribOut != "" || opts.windowsEvery > 0
 	if observing && len(stacks) > 1 {
-		return fmt.Errorf("-trace-out/-metrics-out need a single -replay stack, got %d", len(stacks))
+		return fmt.Errorf("-trace-out/-metrics-out/-attrib-out/-windows need a single -replay stack, got %d", len(stacks))
 	}
 	cfgs := make([]bps.RunConfig, len(stacks))
 	for i, stack := range stacks {
@@ -210,6 +220,8 @@ func printReplay(w io.Writer, records []bps.Record, opts options) error {
 		cfgs[0].Observe = &bps.ObserveOptions{
 			ChromeTrace: opts.traceOut != "",
 			SampleEvery: sim.Millisecond,
+			Attribution: opts.attribOut != "",
+			WindowEvery: sim.Time(opts.windowsEvery * float64(sim.Second)),
 		}
 	}
 	reps := make([]bps.RunReport, len(stacks))
@@ -239,6 +251,16 @@ func printReplay(w io.Writer, records []bps.Record, opts options) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote per-layer metrics to %s\n", opts.metricsOut)
+	}
+	if opts.attribOut != "" || opts.windowsEvery > 0 {
+		rep := reps[0].Attribution
+		report.WriteAttribution(w, rep)
+		if opts.attribOut != "" {
+			if err := writeFile(opts.attribOut, rep.WriteFolded); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote folded stacks to %s\n", opts.attribOut)
+		}
 	}
 	return nil
 }

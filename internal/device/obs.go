@@ -49,16 +49,18 @@ func newInstruments(e *sim.Engine, name string, res *sim.Resource) instruments {
 // begin opens a device-layer span for req in p's timeline; the returned
 // span is inert when tracing is off.
 func (ins *instruments) begin(p *sim.Proc, req Request) obs.Span {
-	if !ins.o.Tracing() {
+	if !ins.o.Spanning() {
 		return obs.Span{}
 	}
 	name := ins.spanRead
 	if req.Write {
 		name = ins.spanWrite
 	}
-	return ins.o.Begin(p, "device", name, map[string]any{
-		"offset": req.Offset, "size": req.Size,
-	})
+	var args map[string]any
+	if ins.o.Tracing() {
+		args = map[string]any{"offset": req.Offset, "size": req.Size}
+	}
+	return ins.o.Begin(p, "device", name, args)
 }
 
 // done records the completed request's metrics: service duration

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"bps/internal/obs"
+)
+
+// attribParams is deliberately tiny: blame labels must be stable at any
+// scale, and neutrality must hold run-for-run.
+func attribParams(parallel int) Params {
+	return Params{Scale: 1.0 / 512, Seed: 42, Parallel: parallel}
+}
+
+// stripBlame clears the Blame column so attributed and unattributed
+// point sets can be compared field-for-field.
+func stripBlame(pts []Point) []Point {
+	out := append([]Point(nil), pts...)
+	for i := range out {
+		out[i].Blame = ""
+	}
+	return out
+}
+
+// TestAttributionNeutralOnFigures: running a sweep with the profiler
+// attached must reproduce the exact same measurements — the blame
+// column is the only difference.
+func TestAttributionNeutralOnFigures(t *testing.T) {
+	for _, id := range []string{FaultFigureID, ClientCacheFigureID} {
+		t.Run(id, func(t *testing.T) {
+			plainSuite := NewSuite(attribParams(0))
+			plain, err := plainSuite.Figure(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attribSuite := NewSuite(attribParams(0))
+			attribSuite.SetObserve(&obs.Options{Attribution: true})
+			attributed, err := attribSuite.Figure(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, pt := range plain.Points {
+				if pt.Blame != "" {
+					t.Fatalf("unattributed point %q carries blame %q", pt.Label, pt.Blame)
+				}
+			}
+			for _, pt := range attributed.Points {
+				if pt.Blame == "" {
+					t.Fatalf("attributed point %q has no blame", pt.Label)
+				}
+			}
+			if !reflect.DeepEqual(plain.Points, stripBlame(attributed.Points)) {
+				t.Errorf("measurements differ with attribution on:\noff: %+v\n on: %+v",
+					plain.Points, attributed.Points)
+			}
+			if !reflect.DeepEqual(plain.CC, attributed.CC) {
+				t.Errorf("CC tables differ with attribution on")
+			}
+		})
+	}
+}
+
+// TestBlameParallelMatchesSequential: the blame labels are part of the
+// sweep's determinism contract — a parallel sweep must produce the
+// same dominant layer per point as a sequential one.
+func TestBlameParallelMatchesSequential(t *testing.T) {
+	run := func(parallel int) Figure {
+		s := NewSuite(attribParams(parallel))
+		s.SetObserve(&obs.Options{Attribution: true})
+		f, err := s.Figure(FaultFigureID)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return f
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		t.Errorf("attributed points differ between parallel=1 and parallel=8:\nseq: %+v\npar: %+v",
+			seq.Points, par.Points)
+	}
+}

@@ -74,6 +74,10 @@ type Point struct {
 	// Aux carries sweep-specific side measurements (e.g. the clientcache
 	// sweep's hit rate) keyed by name; nil for most sweeps.
 	Aux map[string]float64
+
+	// Blame names the run's dominant bottleneck layer per the
+	// critical-path profiler; "" unless the sweep ran with attribution.
+	Blame string
 }
 
 // Figure is the reproduction of one paper figure.

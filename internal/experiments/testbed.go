@@ -57,16 +57,19 @@ func runOne(seed int64, label string, observe *obs.Options, build buildFunc) (Po
 		return Point{}, nil, fmt.Errorf("run %s: %w", label, err)
 	}
 	e.Shutdown() // unwind server daemons so sweeps don't accumulate goroutines
-	var o *Observation
-	if ob != nil {
-		for _, r := range res.Trace.Records() {
-			ob.AddAppRecord(r.PID, r.Blocks, r.Start, r.End)
-		}
-		o = &Observation{Label: label, Obs: ob}
-	}
-	return Point{
+	pt := Point{
 		Label:   label,
 		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
 		Errors:  res.Errors,
-	}, o, nil
+	}
+	var o *Observation
+	if ob != nil {
+		ob.FinishSampling()
+		for _, r := range res.Trace.Records() {
+			ob.AddAppRecord(r.PID, r.Blocks, r.Start, r.End)
+		}
+		pt.Blame = ob.Attribution().Dominant()
+		o = &Observation{Label: label, Obs: ob}
+	}
+	return pt, o, nil
 }

@@ -1,6 +1,9 @@
 package ioreq
 
-import "bps/internal/sim"
+import (
+	"bps/internal/obs"
+	"bps/internal/sim"
+)
 
 // CacheConfig parameterizes a client-side shared page cache.
 type CacheConfig struct {
@@ -255,7 +258,16 @@ func (l *cacheLayer) Serve(p *sim.Proc, req *Request) error {
 	}
 	if hitBytes > 0 {
 		c.hitBytes += hitBytes
+		var sp obs.Span
+		if o := obs.Get(p.Engine()); o.Spanning() {
+			var args map[string]any
+			if o.Tracing() {
+				args = map[string]any{"bytes": hitBytes}
+			}
+			sp = o.Begin(p, "cache", "hit", args)
+		}
 		p.Sleep(c.cfg.HitLatency + sim.TransferTime(hitBytes, c.cfg.MemRate))
+		sp.End()
 	}
 	return nil
 }

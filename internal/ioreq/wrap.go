@@ -15,14 +15,18 @@ func Trace(e *sim.Engine, cat, name string) Middleware {
 	o := obs.Get(e)
 	return func(next Layer) Layer {
 		return Func(func(p *sim.Proc, req *Request) error {
-			if !o.Tracing() {
+			if !o.Spanning() {
 				return next.Serve(p, req)
 			}
-			sp := o.Begin(p, cat, name, map[string]any{
-				"op":     req.Op.String(),
-				"offset": req.Off,
-				"size":   req.Size,
-			})
+			var args map[string]any
+			if o.Tracing() {
+				args = map[string]any{
+					"op":     req.Op.String(),
+					"offset": req.Off,
+					"size":   req.Size,
+				}
+			}
+			sp := o.Begin(p, cat, name, args)
 			err := next.Serve(p, req)
 			sp.End()
 			return err

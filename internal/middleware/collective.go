@@ -129,7 +129,7 @@ func (c *Collective) ReadAll(p *sim.Proc, col *trace.Collector, regions []Region
 	if required > 0 && r.err == nil {
 		p.Sleep(c.cfg.ExchangeLatency + sim.TransferTime(required, c.cfg.ExchangeRate))
 	}
-	col.Record(trace.BlocksOf(required), start, p.Now())
+	record(p, col, trace.BlocksOf(required), start)
 	return r.err
 }
 

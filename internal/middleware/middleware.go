@@ -16,9 +16,20 @@ import (
 	"fmt"
 
 	"bps/internal/ioreq"
+	"bps/internal/obs"
 	"bps/internal/sim"
 	"bps/internal/trace"
 )
+
+// record captures one completed application access at its completion
+// time: the BPS trace record that post-hoc metrics consume, and — when
+// the engine is observed — the live feed of the streaming windowed
+// estimator (obs.Observer.AppAccess, a no-op otherwise).
+func record(p *sim.Proc, col *trace.Collector, blocks int64, start sim.Time) {
+	end := p.Now()
+	col.Record(blocks, start, end)
+	obs.Get(p.Engine()).AppAccess(blocks, start, end)
+}
 
 // Target is an open file as seen from the middleware: the head of a
 // layer pipeline plus the file identity the pipeline serves. The old
@@ -104,7 +115,7 @@ func (io *POSIX) Read(p *sim.Proc, off, size int64) error {
 	req := io.target.NewRequest(p, ioreq.OpRead, off, size)
 	req.PID = io.col.PID()
 	err := io.target.Serve(p, req)
-	io.col.Record(trace.BlocksOf(size), start, p.Now())
+	record(p, io.col, trace.BlocksOf(size), start)
 	return err
 }
 
@@ -114,7 +125,7 @@ func (io *POSIX) Write(p *sim.Proc, off, size int64) error {
 	req := io.target.NewRequest(p, ioreq.OpWrite, off, size)
 	req.PID = io.col.PID()
 	err := io.target.Serve(p, req)
-	io.col.Record(trace.BlocksOf(size), start, p.Now())
+	record(p, io.col, trace.BlocksOf(size), start)
 	return err
 }
 
@@ -187,7 +198,7 @@ func (m *MPIIO) Write(p *sim.Proc, off, size int64) error {
 	req := m.target.NewRequest(p, ioreq.OpWrite, off, size)
 	req.PID = m.col.PID()
 	err := m.target.Serve(p, req)
-	m.col.Record(trace.BlocksOf(size), start, p.Now())
+	record(p, m.col, trace.BlocksOf(size), start)
 	return err
 }
 
@@ -208,7 +219,7 @@ func (m *MPIIO) ReadRegions(p *sim.Proc, regions []Region) error {
 	} else {
 		err = m.directRead(p, req, regions)
 	}
-	m.col.Record(trace.BlocksOf(required), start, p.Now())
+	record(p, m.col, trace.BlocksOf(required), start)
 	return err
 }
 

@@ -180,6 +180,8 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *NIC, size int64) {
 	var sp obs.Span
 	if f.o.Tracing() {
 		sp = f.o.Begin(p, "net", src.name+"->"+dst.name, map[string]any{"bytes": size})
+	} else if f.o.Spanning() {
+		sp = f.o.Begin(p, "net", "transfer", nil)
 	}
 	start := f.eng.Now()
 	ser := f.serialization(size)

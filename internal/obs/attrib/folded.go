@@ -1,0 +1,39 @@
+package attrib
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteFolded writes the report's stacks in the collapsed/folded
+// format FlameGraph's flamegraph.pl and speedscope ingest directly:
+// one stack per line, frames joined by semicolons, a space, and the
+// sample weight — here the stack's share of the overlapped time T in
+// nanoseconds. Lines are sorted by path, so equal reports produce
+// byte-identical files.
+func (r *Report) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, st := range r.Stacks {
+		for i, f := range st.Frames {
+			if i > 0 {
+				if err := bw.WriteByte(';'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(f); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatInt(int64(st.Time), 10)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

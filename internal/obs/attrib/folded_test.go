@@ -1,0 +1,106 @@
+package attrib
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bps/internal/sim"
+)
+
+// parseFolded is the test-side parser of the collapsed-stacks format:
+// one "frame;frame;... weight" line per stack. It rejects anything
+// WriteFolded would never emit (empty frames, missing weight, negative
+// or non-numeric weights), returning an error the fuzzer uses to skip
+// invalid inputs.
+func parseFolded(data []byte) ([]Stack, error) {
+	var stacks []Stack
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("line %d: no weight separator", ln+1)
+		}
+		weight, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("line %d: bad weight %q", ln+1, line[sp+1:])
+		}
+		frames := strings.Split(line[:sp], ";")
+		for _, f := range frames {
+			if f == "" || strings.ContainsAny(f, " \n") {
+				return nil, fmt.Errorf("line %d: bad frame %q", ln+1, f)
+			}
+		}
+		stacks = append(stacks, Stack{Frames: frames, Time: sim.Time(weight)})
+	}
+	return stacks, nil
+}
+
+// foldedBytes renders a report's stacks.
+func foldedBytes(t testing.TB, stacks []Stack) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := (&Report{Stacks: stacks}).WriteFolded(&buf); err != nil {
+		t.Fatalf("WriteFolded: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// collectorFolded builds a small real report and renders it — the
+// golden-corpus seed shared by the round-trip test and the fuzzer.
+func collectorFolded(t testing.TB) []byte {
+	t.Helper()
+	c := NewCollector(Config{Spans: true})
+	c.AddApp(0, 100)
+	c.AddSpan(LayerIndex(LayerRPC), 0, 90)
+	c.AddSpan(LayerIndex(LayerServer), 10, 80)
+	c.AddSpan(LayerIndex(LayerNet), 20, 60)
+	c.AddSpan(LayerIndex(LayerDevice), 30, 50)
+	return foldedBytes(t, c.Report().Stacks)
+}
+
+// TestFoldedRoundTrip: a real collector report survives write → parse →
+// write byte-identically.
+func TestFoldedRoundTrip(t *testing.T) {
+	out := collectorFolded(t)
+	stacks, err := parseFolded(out)
+	if err != nil {
+		t.Fatalf("parseFolded: %v\n%s", err, out)
+	}
+	if len(stacks) == 0 {
+		t.Fatal("no stacks in rendered report")
+	}
+	if again := foldedBytes(t, stacks); !bytes.Equal(again, out) {
+		t.Fatalf("round trip changed bytes:\n got %q\nwant %q", again, out)
+	}
+}
+
+// FuzzFoldedRoundTrip feeds arbitrary bytes through the test parser;
+// whenever they parse as a valid folded file, writing the parsed stacks
+// and re-parsing must reproduce them exactly.
+func FuzzFoldedRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("app;client 5\n"))
+	f.Add([]byte("app;rpc;server;device 123456789\napp;rpc;server;net 42\n"))
+	f.Add([]byte("bad line without weight\n"))
+	f.Add(collectorFolded(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stacks, err := parseFolded(data)
+		if err != nil {
+			return // not a folded file; nothing to round-trip
+		}
+		out := foldedBytes(t, stacks)
+		back, err := parseFolded(out)
+		if err != nil {
+			t.Fatalf("rendered output did not parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back, stacks) {
+			t.Fatalf("round trip changed stacks:\n got %+v\nwant %+v", back, stacks)
+		}
+	})
+}

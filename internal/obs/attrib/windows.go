@@ -1,0 +1,186 @@
+package attrib
+
+import (
+	"sort"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+// Window is one fixed window of the streaming estimator's time series.
+// Windows are aligned to the simulation clock origin (start = i·width),
+// completed work is attributed to the window containing the access's
+// end time (completion-time attribution, like iostat), and Busy is the
+// intersection of the run's overlap union with the window — the same
+// semantics as the post-hoc core.Timeline, produced live.
+type Window struct {
+	Start, End sim.Time
+
+	Ops    int64    // accesses completed in the window
+	Blocks int64    // required blocks of those accesses
+	SumDur sim.Time // summed durations of those accesses (ARPT numerator)
+	Busy   sim.Time // I/O activity inside the window (overlap union ∩ window)
+}
+
+// BPS returns the window's blocks per second of busy time.
+func (w Window) BPS() float64 { return winRate(float64(w.Blocks), w.Busy) }
+
+// IOPS returns the window's completed operations per second of busy time.
+func (w Window) IOPS() float64 { return winRate(float64(w.Ops), w.Busy) }
+
+// Bandwidth returns the window's required-byte bandwidth (blocks ×
+// block size over busy time) in bytes/second — required, not moved:
+// per-window file-system movement is not attributable to a window.
+func (w Window) Bandwidth() float64 {
+	return winRate(float64(w.Blocks*trace.BlockSize), w.Busy)
+}
+
+// ARPT returns the window's average response time per access in seconds.
+func (w Window) ARPT() float64 {
+	if w.Ops == 0 {
+		return 0
+	}
+	return w.SumDur.Seconds() / float64(w.Ops)
+}
+
+// Utilization returns the fraction of the window with I/O in flight.
+func (w Window) Utilization() float64 {
+	if w.End <= w.Start {
+		return 0
+	}
+	return float64(w.Busy) / float64(w.End-w.Start)
+}
+
+func winRate(v float64, t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return v / t.Seconds()
+}
+
+// WindowEstimator ingests application accesses as they complete and
+// maintains per-window accumulators on a fixed grid. Accesses arrive
+// in completion order (the simulation dispatches completions in time
+// order), so ops/blocks/durations land in their bucket in O(1); the
+// per-window busy union is resolved once at Windows().
+type WindowEstimator struct {
+	every sim.Time
+	ops   []int64
+	blk   []int64
+	dur   []sim.Time
+	ivs   []interval
+
+	minStart sim.Time
+	maxEnd   sim.Time
+	any      bool
+}
+
+// NewWindowEstimator returns an estimator with the given window width
+// (10 ms when every is not positive).
+func NewWindowEstimator(every sim.Time) *WindowEstimator {
+	if every <= 0 {
+		every = 10 * sim.Millisecond
+	}
+	return &WindowEstimator{every: every}
+}
+
+// Every returns the window width.
+func (e *WindowEstimator) Every() sim.Time {
+	if e == nil {
+		return 0
+	}
+	return e.every
+}
+
+// Add ingests one completed access.
+func (e *WindowEstimator) Add(blocks int64, start, end sim.Time) {
+	if e == nil || end < start || start < 0 {
+		return
+	}
+	if !e.any || start < e.minStart {
+		e.minStart = start
+	}
+	if end > e.maxEnd {
+		e.maxEnd = end
+	}
+	e.any = true
+
+	idx := int(end / e.every)
+	if end == sim.Time(idx)*e.every && idx > 0 {
+		idx-- // completion exactly on a boundary belongs to the left window
+	}
+	for len(e.ops) <= idx {
+		e.ops = append(e.ops, 0)
+		e.blk = append(e.blk, 0)
+		e.dur = append(e.dur, 0)
+	}
+	e.ops[idx]++
+	e.blk[idx] += blocks
+	e.dur[idx] += end - start
+	if end > start {
+		e.ivs = append(e.ivs, interval{start, end})
+	}
+}
+
+// Windows assembles the time series: every window from the first
+// access's start to the last completion, empty windows included so the
+// series is continuous.
+func (e *WindowEstimator) Windows() []Window {
+	if e == nil || !e.any {
+		return nil
+	}
+	first := int(e.minStart / e.every)
+	last := int((e.maxEnd - 1) / e.every)
+	if len(e.ops) > 0 && len(e.ops)-1 > last {
+		last = len(e.ops) - 1
+	}
+	wins := make([]Window, last-first+1)
+	for i := range wins {
+		wins[i].Start = sim.Time(first+i) * e.every
+		wins[i].End = sim.Time(first+i+1) * e.every
+	}
+	for idx := first; idx < len(e.ops); idx++ {
+		wins[idx-first].Ops = e.ops[idx]
+		wins[idx-first].Blocks = e.blk[idx]
+		wins[idx-first].SumDur = e.dur[idx]
+	}
+
+	// Busy: one sort, one Fig. 3 merge, spreading each merged span
+	// over the windows it crosses.
+	ivs := append([]interval(nil), e.ivs...)
+	if len(ivs) == 0 {
+		return wins
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	spread := func(iv interval) {
+		for t := iv.start; t < iv.end; {
+			w := int(t/e.every) - first
+			if w < 0 {
+				t = sim.Time(first) * e.every
+				continue
+			}
+			if w >= len(wins) {
+				break
+			}
+			seg := iv.end
+			if seg > wins[w].End {
+				seg = wins[w].End
+			}
+			wins[w].Busy += seg - t
+			t = seg
+		}
+	}
+	cur := ivs[0]
+	for _, next := range ivs[1:] {
+		if cur.end < next.start {
+			spread(cur)
+			cur = next
+			continue
+		}
+		if next.end > cur.end {
+			cur.end = next.end
+		}
+	}
+	spread(cur)
+	return wins
+}

@@ -1,0 +1,142 @@
+package attrib
+
+import (
+	"testing"
+
+	"bps/internal/sim"
+	"bps/internal/trace"
+)
+
+const win = 10 * sim.Millisecond
+
+// TestWindowsCompletionAttribution: work lands in the window containing
+// the access's end, with an end exactly on a boundary belonging to the
+// left window — the same convention as core.Timeline.
+func TestWindowsCompletionAttribution(t *testing.T) {
+	e := NewWindowEstimator(win)
+	e.Add(4, 0, win)          // ends exactly on the first boundary → window 0
+	e.Add(8, win/2, win+1)    // crosses the boundary → window 1
+	e.Add(2, 2*win, 2*win+win/2) // window 2
+	wins := e.Windows()
+
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wins))
+	}
+	if wins[0].Ops != 1 || wins[0].Blocks != 4 {
+		t.Errorf("window 0 ops/blocks = %d/%d, want 1/4", wins[0].Ops, wins[0].Blocks)
+	}
+	if wins[1].Ops != 1 || wins[1].Blocks != 8 {
+		t.Errorf("window 1 ops/blocks = %d/%d, want 1/8", wins[1].Ops, wins[1].Blocks)
+	}
+	if wins[2].Ops != 1 || wins[2].Blocks != 2 {
+		t.Errorf("window 2 ops/blocks = %d/%d, want 1/2", wins[2].Ops, wins[2].Blocks)
+	}
+	for i, w := range wins {
+		if w.Start != sim.Time(i)*win || w.End != sim.Time(i+1)*win {
+			t.Errorf("window %d bounds [%d,%d), want [%d,%d)", i, w.Start, w.End,
+				sim.Time(i)*win, sim.Time(i+1)*win)
+		}
+	}
+}
+
+// TestWindowsBusyUnion: busy is the overlap union clipped to each
+// window — concurrent accesses are counted once, idle gaps not at all.
+func TestWindowsBusyUnion(t *testing.T) {
+	e := NewWindowEstimator(win)
+	// Two concurrent accesses covering [0, 6ms); idle until 8ms; then
+	// one access crossing into the second window.
+	e.Add(1, 0, 6*sim.Millisecond)
+	e.Add(1, 2*sim.Millisecond, 6*sim.Millisecond)
+	e.Add(1, 8*sim.Millisecond, 14*sim.Millisecond)
+	wins := e.Windows()
+
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	if want := 8 * sim.Millisecond; wins[0].Busy != want { // [0,6) ∪ [8,10)
+		t.Errorf("window 0 busy = %v, want %v", wins[0].Busy, want)
+	}
+	if want := 4 * sim.Millisecond; wins[1].Busy != want { // [10,14)
+		t.Errorf("window 1 busy = %v, want %v", wins[1].Busy, want)
+	}
+	if got, want := wins[0].Utilization(), 0.8; got != want {
+		t.Errorf("window 0 utilization = %v, want %v", got, want)
+	}
+}
+
+// TestWindowsContinuousThroughGaps: a long idle stretch still yields
+// the in-between empty windows, so the series has no holes.
+func TestWindowsContinuousThroughGaps(t *testing.T) {
+	e := NewWindowEstimator(win)
+	e.Add(1, 0, sim.Millisecond)
+	e.Add(1, 5*win, 5*win+sim.Millisecond)
+	wins := e.Windows()
+
+	if len(wins) != 6 {
+		t.Fatalf("windows = %d, want 6 (gap windows included)", len(wins))
+	}
+	for i := 1; i <= 4; i++ {
+		if wins[i].Ops != 0 || wins[i].Busy != 0 {
+			t.Errorf("gap window %d ops/busy = %d/%v, want 0/0", i, wins[i].Ops, wins[i].Busy)
+		}
+		if wins[i].BPS() != 0 || wins[i].ARPT() != 0 {
+			t.Errorf("gap window %d rates nonzero", i)
+		}
+	}
+}
+
+// TestWindowRates checks the per-window metric arithmetic against hand
+// computation.
+func TestWindowRates(t *testing.T) {
+	w := Window{
+		Start: 0, End: win,
+		Ops: 4, Blocks: 64,
+		SumDur: 8 * sim.Millisecond,
+		Busy:   5 * sim.Millisecond,
+	}
+	if got, want := w.BPS(), 64/0.005; got != want {
+		t.Errorf("BPS = %v, want %v", got, want)
+	}
+	if got, want := w.IOPS(), 4/0.005; got != want {
+		t.Errorf("IOPS = %v, want %v", got, want)
+	}
+	if got, want := w.Bandwidth(), 64*float64(trace.BlockSize)/0.005; got != want {
+		t.Errorf("Bandwidth = %v, want %v", got, want)
+	}
+	if got, want := w.ARPT(), 0.008/4; got != want {
+		t.Errorf("ARPT = %v, want %v", got, want)
+	}
+
+	var zero Window
+	if zero.BPS() != 0 || zero.IOPS() != 0 || zero.Bandwidth() != 0 ||
+		zero.ARPT() != 0 || zero.Utilization() != 0 {
+		t.Error("zero window produced nonzero rates")
+	}
+}
+
+// TestEstimatorRejectsBadInput: negative or inverted intervals are
+// dropped rather than corrupting the grid.
+func TestEstimatorRejectsBadInput(t *testing.T) {
+	e := NewWindowEstimator(win)
+	e.Add(1, -5, 5)
+	e.Add(1, 10, 5)
+	if e.Windows() != nil {
+		t.Fatal("bad input produced windows")
+	}
+	var ne *WindowEstimator
+	ne.Add(1, 0, 1)
+	if ne.Windows() != nil || ne.Every() != 0 {
+		t.Fatal("nil estimator produced data")
+	}
+}
+
+// TestEstimatorZeroDuration: an instantaneous access still counts as an
+// op in its window but adds no busy time.
+func TestEstimatorZeroDuration(t *testing.T) {
+	e := NewWindowEstimator(win)
+	e.Add(3, win/2, win/2)
+	wins := e.Windows()
+	if len(wins) != 1 || wins[0].Ops != 1 || wins[0].Blocks != 3 || wins[0].Busy != 0 {
+		t.Fatalf("zero-duration access: %+v", wins)
+	}
+}

@@ -150,22 +150,30 @@ func (b *TraceBuffer) Write(w io.Writer) error {
 }
 
 // Span is a handle to an open trace span; the zero value (from a nil or
-// trace-disabled observer) is inert.
+// trace-disabled observer) is inert. A span may record into the Chrome
+// trace buffer (ok), into the attribution profiler (layer > 0), or both.
 type Span struct {
-	o   *Observer
-	idx int
-	ok  bool
+	o     *Observer
+	idx   int
+	ok    bool
+	layer int      // attribution StackOrder index + 1; 0 = none
+	start sim.Time // span open time (attribution only)
 }
 
 // Active reports whether the span is actually recording — use it to skip
 // building argument maps when tracing is off.
-func (s Span) Active() bool { return s.ok }
+func (s Span) Active() bool { return s.ok || s.layer > 0 }
 
 // End closes the span at the current simulated time.
 func (s Span) End() {
-	if !s.ok {
+	if s.o == nil {
 		return
 	}
-	ev := &s.o.buf.events[s.idx]
-	ev.Dur = usOf(s.o.eng.Now()) - ev.TS
+	if s.ok {
+		ev := &s.o.buf.events[s.idx]
+		ev.Dur = usOf(s.o.eng.Now()) - ev.TS
+	}
+	if s.layer > 0 {
+		s.o.attrib.AddSpan(s.layer-1, s.start, s.o.eng.Now())
+	}
 }

@@ -23,7 +23,9 @@ package obs
 
 import (
 	"io"
+	"strings"
 
+	"bps/internal/obs/attrib"
 	"bps/internal/sim"
 )
 
@@ -41,6 +43,17 @@ type Options struct {
 	// queue-depth counter tracks on every resource state change. Rich but
 	// verbose; off by default.
 	QueueCounters bool
+
+	// Attribution enables the critical-path profiler: layer spans are
+	// collected (even when ChromeTrace is off) and Observer.Attribution
+	// returns the per-layer decomposition of the overlapped time T.
+	Attribution bool
+
+	// WindowEvery, when positive, sizes the streaming windowed
+	// estimator's fixed windows: BPS/IOPS/bandwidth/ARPT per window,
+	// fed live at access completion (Observer.AppAccess) and returned
+	// in the attribution report.
+	WindowEvery sim.Time
 }
 
 // Observer ties the pieces together for one engine: it implements
@@ -51,8 +64,10 @@ type Options struct {
 type Observer struct {
 	eng     *sim.Engine
 	reg     *Registry
-	buf     *TraceBuffer // nil when ChromeTrace is off
-	sampler *Sampler     // nil when SampleEvery is 0
+	buf     *TraceBuffer      // nil when ChromeTrace is off
+	sampler *Sampler          // nil when SampleEvery is 0
+	attrib  *attrib.Collector // nil unless Attribution or WindowEvery
+	spans   bool              // Attribution: collect layer spans
 	opts    Options
 
 	// Engine-level metrics.
@@ -89,6 +104,13 @@ func Attach(e *sim.Engine, opts Options) *Observer {
 	o.procsEnded = o.reg.Counter("sim/engine/procs_ended")
 	if opts.ChromeTrace {
 		o.buf = NewTraceBuffer()
+	}
+	if opts.Attribution || opts.WindowEvery > 0 {
+		o.attrib = attrib.NewCollector(attrib.Config{
+			Spans:       opts.Attribution,
+			WindowEvery: opts.WindowEvery,
+		})
+		o.spans = opts.Attribution
 	}
 	e.SetTracer(o)
 	if opts.SampleEvery > 0 {
@@ -139,21 +161,41 @@ func (o *Observer) TraceBuffer() *TraceBuffer {
 // guard span-name or argument construction.
 func (o *Observer) Tracing() bool { return o != nil && o.buf != nil }
 
+// Spanning reports whether Begin/End have any consumer — Chrome trace
+// collection or the attribution profiler. Instrumented layers guard
+// span opening with it and build argument maps only when Tracing().
+func (o *Observer) Spanning() bool { return o != nil && (o.buf != nil || o.spans) }
+
 // Begin opens a span in p's timeline under category cat (the layer:
 // "device", "net", "pfs", ...). args may be nil; build it only when
-// Tracing() to keep uninstrumented paths allocation-free.
+// Tracing() to keep uninstrumented paths allocation-free. When the
+// attribution profiler is on, the span's close also charges its
+// [start, end) to the layer LayerOf(cat, name) classifies.
 func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Span {
-	if o == nil || o.buf == nil {
+	if o == nil || (o.buf == nil && !o.spans) {
 		return Span{}
 	}
-	if r, ok := p.Ctx().(traceIDed); ok {
-		if args == nil {
-			args = make(map[string]any, 1)
+	sp := Span{o: o}
+	if o.buf != nil {
+		if r, ok := p.Ctx().(traceIDed); ok {
+			if args == nil {
+				args = make(map[string]any, 1)
+			}
+			args["req"] = r.TraceID()
 		}
-		args["req"] = r.TraceID()
+		sp.idx = o.buf.span(p, cat, name, o.eng.Now(), args)
+		sp.ok = true
 	}
-	idx := o.buf.span(p, cat, name, o.eng.Now(), args)
-	return Span{o: o, idx: idx, ok: true}
+	if o.spans {
+		if layer := attrib.LayerOf(cat, name); layer >= 0 {
+			sp.layer = layer + 1 // 0 means "no attribution"
+			sp.start = o.eng.Now()
+		}
+	}
+	if !sp.ok && sp.layer == 0 {
+		return Span{}
+	}
+	return sp
 }
 
 // traceIDed is the request-context hook: when the calling proc's context
@@ -174,12 +216,76 @@ func (o *Observer) Counter(name string, v float64) {
 // AddAppRecord converts one gathered application trace record into an
 // "app" layer span, one Chrome thread per application PID. Records share
 // the simulation's timeline, so they align with the per-layer spans
-// below them.
+// below them. The same intervals feed the attribution profiler as the
+// application union — the T the per-layer blame partitions.
 func (o *Observer) AddAppRecord(pid, blocks int64, start, end sim.Time) {
-	if o == nil || o.buf == nil {
+	if o == nil {
 		return
 	}
-	o.buf.AppSpan(pid, blocks, start, end)
+	if o.attrib != nil {
+		o.attrib.AddApp(start, end)
+	}
+	if o.buf != nil {
+		o.buf.AppSpan(pid, blocks, start, end)
+	}
+}
+
+// AppAccess feeds one completed application access to the streaming
+// windowed estimator, at completion time — the middleware's trace
+// capture sites call it alongside trace.Collector.Record. A nil or
+// windows-disabled observer absorbs the call; it never touches
+// simulated time.
+func (o *Observer) AppAccess(blocks int64, start, end sim.Time) {
+	if o == nil || o.attrib == nil {
+		return
+	}
+	o.attrib.AddAccess(blocks, start, end)
+}
+
+// Attribution computes (once) and returns the run's critical-path
+// attribution report, or nil when neither Attribution nor WindowEvery
+// was requested. Call it after the application records have been added
+// via AddAppRecord — the report's T is their union.
+func (o *Observer) Attribution() *attrib.Report {
+	if o == nil || o.attrib == nil {
+		return nil
+	}
+	rep := o.attrib.Report()
+	if rep.Latency == nil {
+		rep.Latency = latencyRows(o.reg)
+	}
+	return rep
+}
+
+// latencyRows harvests every duration histogram (the "_ns" convention)
+// into per-request latency quantile rows.
+func latencyRows(reg *Registry) []attrib.LatencyRow {
+	var rows []attrib.LatencyRow
+	for _, h := range reg.Histograms() {
+		if !strings.HasSuffix(h.Name(), "_ns") || h.Count() == 0 {
+			continue
+		}
+		rows = append(rows, attrib.LatencyRow{
+			Name:  h.Name(),
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		})
+	}
+	return rows
+}
+
+// FinishSampling takes the sampler's final sample at the engine's
+// current time, covering the tail after the last foreground event —
+// where the sampler daemon's pending background tick never fires.
+func (o *Observer) FinishSampling() {
+	if o == nil || o.sampler == nil {
+		return
+	}
+	o.sampler.Finish(o.eng.Now())
 }
 
 // WriteChromeTrace writes the collected Chrome trace-event JSON.

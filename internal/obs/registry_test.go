@@ -87,6 +87,57 @@ func TestHistogramStats(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins Quantile's behavior in the corner
+// cases the attribution latency rows rely on: empty histograms, all
+// samples in a single bucket, and a saturated top bucket.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty: every quantile is 0.
+	empty := &Histogram{}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// Single bucket: samples 100..120 all land in [64, 127], so every
+	// quantile reports that bucket, clipped to the observed max.
+	single := &Histogram{}
+	for v := int64(100); v <= 120; v++ {
+		single.Observe(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := single.Quantile(q)
+		if got < 100 || got > 127 {
+			t.Fatalf("single-bucket Quantile(%v) = %d, want within [100,127]", q, got)
+		}
+	}
+	if got := single.Quantile(1); got != 120 {
+		t.Fatalf("single-bucket p100 = %d, want observed max 120", got)
+	}
+
+	// Saturated top bucket: huge samples hit bucket HistBuckets-1 whose
+	// upper bound is MaxInt64; the result must clip to the observed max
+	// instead of reporting an absurd bound.
+	sat := &Histogram{}
+	sat.Observe(math.MaxInt64)
+	sat.Observe(1 << 62)
+	for _, q := range []float64{0.5, 1} {
+		if got := sat.Quantile(q); got != math.MaxInt64 {
+			t.Fatalf("saturated Quantile(%v) = %d, want max %d", q, got, int64(math.MaxInt64))
+		}
+	}
+	sat2 := &Histogram{}
+	sat2.Observe(1<<62 + 5)
+	if got := sat2.Quantile(0.5); got != 1<<62+5 {
+		t.Fatalf("saturated Quantile(0.5) = %d, want observed max %d", got, int64(1<<62+5))
+	}
+
+	// Out-of-range q clips rather than panicking.
+	if single.Quantile(-1) != single.Quantile(0) || single.Quantile(2) != single.Quantile(1) {
+		t.Fatal("out-of-range q not clipped")
+	}
+}
+
 func TestRegistryNilSafety(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")

@@ -23,6 +23,7 @@ type Sampler struct {
 	every  sim.Time
 	series map[string]*Series
 	order  []string
+	lastAt sim.Time // time of the most recent sample
 
 	// onSample, when set, additionally receives every sampled value —
 	// the observer uses it to emit Chrome counter tracks.
@@ -58,8 +59,21 @@ func (s *Sampler) Interval() sim.Time {
 	return s.every
 }
 
+// Finish takes one final sample at now, unless a sample at or after now
+// was already taken. The daemon's pending tick after the last foreground
+// event never fires (background events alone don't advance the run), so
+// without this the series silently stop at the penultimate interval;
+// run teardown calls it via Observer.FinishSampling.
+func (s *Sampler) Finish(now sim.Time) {
+	if s == nil || now <= s.lastAt {
+		return
+	}
+	s.sample(now)
+}
+
 // sample appends one data point per registered source at time now.
 func (s *Sampler) sample(now sim.Time) {
+	s.lastAt = now
 	for _, c := range s.reg.Counters() {
 		s.record(c.Name(), now, float64(c.Value()))
 	}
@@ -77,6 +91,20 @@ func (s *Sampler) record(name string, now sim.Time, v float64) {
 		sr = &Series{Name: name}
 		s.series[name] = sr
 		s.order = append(s.order, name)
+	}
+	// Gap fill: a quiet stretch longer than the interval (a skipped
+	// stretch of ticks, or a Finish long after the last tick) would
+	// leave a hole in the series. Carry the previous value forward at
+	// the sampling interval so every series stays continuous.
+	if n := len(sr.Times); n > 0 {
+		prev := sr.Values[n-1]
+		for t := sr.Times[n-1] + s.every; t < now; t += s.every {
+			sr.Times = append(sr.Times, t)
+			sr.Values = append(sr.Values, prev)
+			if s.onSample != nil {
+				s.onSample(name, t, prev)
+			}
+		}
 	}
 	sr.Times = append(sr.Times, now)
 	sr.Values = append(sr.Values, v)

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+
+	"bps/internal/sim"
+)
+
+// TestSamplerFinishCoversTail: the daemon's pending tick after the last
+// foreground event never fires, so without Finish the series stop one
+// interval early. Finish takes the final sample at run end.
+func TestSamplerFinishCoversTail(t *testing.T) {
+	const tick = 2 * sim.Millisecond
+	e := sim.NewEngine(1)
+	o := Attach(e, Options{SampleEvery: tick})
+	c := o.Registry().Counter("test/tail/steps")
+	e.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(7 * sim.Millisecond)
+		c.Add(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+
+	sr := o.Sampler().SeriesByName("test/tail/steps")
+	if sr == nil {
+		t.Fatal("no series")
+	}
+	// Ticks at 2, 4, 6 ms; the 8 ms tick is past run end and never fires.
+	if got := len(sr.Times); got != 3 {
+		t.Fatalf("pre-finish samples = %d (times %v), want 3", got, sr.Times)
+	}
+	if sr.Values[2] != 0 {
+		t.Fatalf("tick at 6ms saw %v increments, want 0", sr.Values[2])
+	}
+
+	o.FinishSampling()
+	if got := len(sr.Times); got != 4 {
+		t.Fatalf("post-finish samples = %d (times %v), want 4", got, sr.Times)
+	}
+	if sr.Times[3] != 7*sim.Millisecond || sr.Values[3] != 1 {
+		t.Fatalf("final sample = (%v, %v), want (7ms, 1)", sr.Times[3], sr.Values[3])
+	}
+
+	// Finish is idempotent: a second call at the same time adds nothing.
+	o.FinishSampling()
+	if got := len(sr.Times); got != 4 {
+		t.Fatalf("repeated finish grew the series to %d points", got)
+	}
+}
+
+// TestSamplerGapFill: a sample arriving more than one interval after
+// the previous one gets carry-forward filler points at the sampling
+// interval, so every series stays continuous through quiet stretches.
+func TestSamplerGapFill(t *testing.T) {
+	const tick = 2 * sim.Millisecond
+	e := sim.NewEngine(1)
+	r := NewRegistry()
+	s := r.StartSampler(e, tick)
+	g := r.Gauge("test/gap/value")
+
+	g.Set(5)
+	s.sample(2 * sim.Millisecond)
+	g.Set(9)
+	s.sample(11 * sim.Millisecond) // 9 ms of silence: fillers at 4, 6, 8, 10
+
+	sr := s.SeriesByName("test/gap/value")
+	if sr == nil {
+		t.Fatal("no series")
+	}
+	wantTimes := []sim.Time{2, 4, 6, 8, 10, 11}
+	wantVals := []float64{5, 5, 5, 5, 5, 9}
+	if len(sr.Times) != len(wantTimes) {
+		t.Fatalf("samples = %d (times %v), want %d", len(sr.Times), sr.Times, len(wantTimes))
+	}
+	for i := range wantTimes {
+		if sr.Times[i] != wantTimes[i]*sim.Millisecond || sr.Values[i] != wantVals[i] {
+			t.Fatalf("sample %d = (%v, %v), want (%v, %v)",
+				i, sr.Times[i], sr.Values[i], wantTimes[i]*sim.Millisecond, wantVals[i])
+		}
+	}
+}
+
+// TestSamplerFinishNilSafe: nil observers and samplers absorb Finish.
+func TestSamplerFinishNilSafe(t *testing.T) {
+	var o *Observer
+	o.FinishSampling() // must not panic
+	var s *Sampler
+	s.Finish(5) // must not panic
+	e := sim.NewEngine(1)
+	unsampled := Attach(e, Options{})
+	unsampled.FinishSampling() // sampler disabled: no-op
+}

@@ -124,14 +124,16 @@ func (cl *Client) access(p *sim.Proc, f *File, req *ioreq.Request) error {
 
 	cl.cluster.fanout.Observe(int64(len(jobs)))
 	var sp obs.Span
-	if cl.cluster.o.Tracing() {
+	if cl.cluster.o.Spanning() {
 		name := "read"
 		if write {
 			name = "write"
 		}
-		sp = cl.cluster.o.Begin(p, "pfs", name, map[string]any{
-			"offset": off, "size": size, "fanout": len(jobs),
-		})
+		var args map[string]any
+		if cl.cluster.o.Tracing() {
+			args = map[string]any{"offset": off, "size": size, "fanout": len(jobs)}
+		}
+		sp = cl.cluster.o.Begin(p, "pfs", name, args)
 	}
 
 	var err error
@@ -258,10 +260,14 @@ func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
 		// visible on the proc's Chrome-trace track.
 		c.retries.Add(1)
 		var rsp obs.Span
-		if c.o.Tracing() {
-			rsp = c.o.Begin(p, "pfs", "retry", map[string]any{
-				"server": srvID, "attempt": attempt + 1, "backoff_ns": int64(backoff),
-			})
+		if c.o.Spanning() {
+			var args map[string]any
+			if c.o.Tracing() {
+				args = map[string]any{
+					"server": srvID, "attempt": attempt + 1, "backoff_ns": int64(backoff),
+				}
+			}
+			rsp = c.o.Begin(p, "pfs", "retry", args)
 		}
 		jitter := sim.Time(c.eng.Rand().Int63n(int64(backoff/2) + 1))
 		p.Sleep(backoff + jitter)
@@ -301,10 +307,12 @@ func (s *Server) worker(p *sim.Proc) {
 		s.bytes.Add(j.bytes)
 		p.SetCtx(j.req) // server-side spans join the request's span chain
 		var sp obs.Span
-		if s.o.Tracing() {
-			sp = s.o.Begin(p, "pfs", s.serveName, map[string]any{
-				"bytes": j.bytes, "write": j.write,
-			})
+		if s.o.Spanning() {
+			var args map[string]any
+			if s.o.Tracing() {
+				args = map[string]any{"bytes": j.bytes, "write": j.write}
+			}
+			sp = s.o.Begin(p, "pfs", s.serveName, args)
 		}
 		for _, piece := range j.pieces {
 			lf := j.file.localFor(piece.pos, j.replica)

@@ -20,17 +20,26 @@ func WriteClientCacheFigure(w io.Writer, f experiments.Figure) {
 	if f.Notes != "" {
 		fmt.Fprintf(w, "  note: %s\n", f.Notes)
 	}
-	fmt.Fprintf(w, "  %-12s %8s %12s %10s %14s %12s %12s %16s %10s\n",
+	blame := hasBlame(f)
+	fmt.Fprintf(w, "  %-12s %8s %12s %10s %14s %12s %12s %16s %10s",
 		f.XLabel, "hit%", "exec(s)", "ops", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)", "BPS/BW")
+	if blame {
+		fmt.Fprintf(w, " %8s", "attrib")
+	}
+	fmt.Fprintln(w)
 	for _, pt := range f.Points {
 		m := pt.Metrics
 		ratio := 0.0
 		if bw := m.Bandwidth(); bw > 0 {
 			ratio = m.BPS() * float64(trace.BlockSize) / bw
 		}
-		fmt.Fprintf(w, "  %-12s %8.1f %12.4f %10d %14.1f %12.2f %12.4f %16.0f %10.2f\n",
+		fmt.Fprintf(w, "  %-12s %8.1f %12.4f %10d %14.1f %12.2f %12.4f %16.0f %10.2f",
 			pt.Label, 100*pt.Aux["hit_rate"], m.ExecTime.Seconds(), m.Ops,
 			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS(), ratio)
+		if blame {
+			fmt.Fprintf(w, " %8s", pt.Blame)
+		}
+		fmt.Fprintln(w)
 	}
 	if f.CC != nil {
 		writeCC(w, f)

@@ -18,13 +18,22 @@ func WriteFaultFigure(w io.Writer, f experiments.Figure) {
 	if f.Notes != "" {
 		fmt.Fprintf(w, "  note: %s\n", f.Notes)
 	}
-	fmt.Fprintf(w, "  %-12s %12s %12s %10s %8s %14s %12s %12s %16s\n",
+	blame := hasBlame(f)
+	fmt.Fprintf(w, "  %-12s %12s %12s %10s %8s %14s %12s %12s %16s",
 		f.XLabel, "exec(s)", "T(s)", "ops", "errors", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)")
+	if blame {
+		fmt.Fprintf(w, " %8s", "attrib")
+	}
+	fmt.Fprintln(w)
 	for _, pt := range f.Points {
 		m := pt.Metrics
-		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %8d %14.1f %12.2f %12.4f %16.0f\n",
+		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %8d %14.1f %12.2f %12.4f %16.0f",
 			pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops, pt.Errors,
 			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS())
+		if blame {
+			fmt.Fprintf(w, " %8s", pt.Blame)
+		}
+		fmt.Fprintln(w)
 	}
 	if f.CC != nil {
 		writeCC(w, f)

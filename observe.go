@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"bps/internal/obs"
+	"bps/internal/obs/attrib"
 	"bps/internal/sim"
 )
 
@@ -19,6 +20,13 @@ type ObserveOptions = obs.Options
 // simulation ran. RunReport.Obs exposes it after an observed run.
 type Observer = obs.Observer
 
+// Attribution is the critical-path profiler's report for one run: the
+// per-layer exclusive decomposition of the overlapped time T, folded
+// flame-graph stacks, latency quantiles, and the streaming windowed
+// time series. RunReport.Attribution exposes it when ObserveOptions
+// enabled Attribution or WindowEvery.
+type Attribution = attrib.Report
+
 // attachObserver installs an observer on a fresh engine when the run
 // config asks for one.
 func attachObserver(e *sim.Engine, cfg RunConfig) *Observer {
@@ -28,13 +36,17 @@ func attachObserver(e *sim.Engine, cfg RunConfig) *Observer {
 	return obs.Attach(e, *cfg.Observe)
 }
 
-// finishObservation adds the gathered application records to the trace
-// (one "app" span per access, one Chrome thread per PID), aligning the
-// application timeline with the per-layer spans recorded live.
+// finishObservation completes an observed run at teardown: it takes the
+// sampler's final sample (the tail the daemon's pending tick never
+// reaches) and adds the gathered application records to the trace and
+// the attribution profiler (one "app" span per access, one Chrome
+// thread per PID), aligning the application timeline with the per-layer
+// spans recorded live.
 func finishObservation(ob *Observer, records []Record) *Observer {
 	if ob == nil {
 		return nil
 	}
+	ob.FinishSampling()
 	for _, r := range records {
 		ob.AddAppRecord(r.PID, r.Blocks, r.Start, r.End)
 	}

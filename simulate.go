@@ -118,6 +118,11 @@ type RunReport struct {
 	// Obs is the run's observability data (metrics registry, sampler
 	// series, Chrome trace buffer); nil unless RunConfig.Observe was set.
 	Obs *Observer
+
+	// Attribution is the critical-path profiler's decomposition of the
+	// run's overlapped time T into per-layer blame; nil unless
+	// ObserveOptions.Attribution or WindowEvery was set.
+	Attribution *Attribution
 }
 
 // SimulateSequentialRead runs an IOzone/IOR-style workload: procs
@@ -249,11 +254,13 @@ func SimulateConcurrentApps(cfg RunConfig, apps ...AppSpec) (combined RunReport,
 		allRecords = append(allRecords, res.Trace.Records()...)
 		errs += res.Errors
 	}
+	ob = finishObservation(ob, allRecords)
 	combined = RunReport{
-		Metrics: ComputeMetrics(allRecords, moved(), e.Now()),
-		Records: allRecords,
-		Errors:  errs,
-		Obs:     finishObservation(ob, allRecords),
+		Metrics:     ComputeMetrics(allRecords, moved(), e.Now()),
+		Records:     allRecords,
+		Errors:      errs,
+		Obs:         ob,
+		Attribution: ob.Attribution(),
 	}
 	return combined, perApp, nil
 }
@@ -344,11 +351,13 @@ func simulate(cfg RunConfig, procs int, totalBytes, perProcBytes int64, w worklo
 		return RunReport{}, fmt.Errorf("bps: running workload: %w", err)
 	}
 	e.Shutdown()
+	ob = finishObservation(ob, res.Trace.Records())
 	return RunReport{
-		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
-		Records: res.Trace.Records(),
-		Errors:  res.Errors,
-		Obs:     finishObservation(ob, res.Trace.Records()),
+		Metrics:     core.Compute(res.Trace, res.Moved, res.ExecTime),
+		Records:     res.Trace.Records(),
+		Errors:      res.Errors,
+		Obs:         ob,
+		Attribution: ob.Attribution(),
 	}, nil
 }
 
@@ -407,10 +416,12 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 		return RunReport{}, fmt.Errorf("bps: replay: %w", err)
 	}
 	e.Shutdown()
+	ob = finishObservation(ob, res.Trace.Records())
 	return RunReport{
-		Metrics: core.Compute(res.Trace, res.Moved, res.ExecTime),
-		Records: res.Trace.Records(),
-		Errors:  res.Errors,
-		Obs:     finishObservation(ob, res.Trace.Records()),
+		Metrics:     core.Compute(res.Trace, res.Moved, res.ExecTime),
+		Records:     res.Trace.Records(),
+		Errors:      res.Errors,
+		Obs:         ob,
+		Attribution: ob.Attribution(),
 	}, nil
 }
