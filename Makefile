@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke faults clientcache attrib ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache attrib live ci
 
 all: ci
 
@@ -48,6 +48,34 @@ bench-all:
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/...
 
+# bench-check is the bench-regression guard: rerun the engine
+# benchmarks and fail if the dispatch hot path regresses more than 20%
+# against the committed BENCH_sim.json. The fresh numbers land in
+# BENCH_new.json (never the baseline — regenerate that with `make
+# bench` after an intended change).
+bench-check:
+	go run ./cmd/benchguard
+
+# live is the observability smoke: start bpsd replaying the sample
+# Darshan log with the streaming endpoints on, then assert /metrics and
+# /windows serve non-empty live data.
+live:
+	go build -o bpsd.smoke ./cmd/bpsd
+	./bpsd.smoke -addr 127.0.0.1:18099 testdata/darshan_sample.csv & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18099/windows >/dev/null 2>&1; then ok=0; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 0 ]; then echo "live: bpsd never served"; kill $$pid; rm -f bpsd.smoke; exit 1; fi; \
+	metrics=$$(curl -sf http://127.0.0.1:18099/metrics); \
+	windows=$$(curl -sf http://127.0.0.1:18099/windows); \
+	kill $$pid; rm -f bpsd.smoke; \
+	echo "$$metrics" | grep -q '^bps_window_bps' || { echo "live: /metrics missing bps_window_bps"; exit 1; }; \
+	echo "$$windows" | grep -q '"windows":\[{' || { echo "live: /windows empty"; exit 1; }; \
+	echo "live smoke OK"
+
 # faults runs the FaultSweep smoke matrix: one healthy rate and one
 # degraded rate at tiny scale, enough to exercise injection at every
 # layer plus the client recovery path end to end.
@@ -72,4 +100,4 @@ attrib:
 	@rm -f attrib_fig9.out
 	@echo "attrib golden OK"
 
-ci: vet staticcheck build race bench-smoke
+ci: vet staticcheck build race bench-smoke live

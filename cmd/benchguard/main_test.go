@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNsPerOp(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"start","Package":"bps/internal/sim"}`,
+		`{"Action":"output","Package":"bps/internal/sim","Output":"goos: linux\n"}`,
+		`{"Action":"output","Test":"BenchmarkEngineEventDispatch","Output":"34511456\t        31.07 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkProcSleep","Output":" 2410411\t       498.8 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkProcSleep","Output":"--- note without ns, op\n"}`,
+		`{"Action":"pass","Package":"bps/internal/sim"}`,
+	}, "\n") + "\n"
+	got, err := parseNsPerOp(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkEngineEventDispatch"] != 31.07 {
+		t.Errorf("dispatch = %v, want 31.07", got["BenchmarkEngineEventDispatch"])
+	}
+	if got["BenchmarkProcSleep"] != 498.8 {
+		t.Errorf("sleep = %v, want 498.8", got["BenchmarkProcSleep"])
+	}
+}
+
+func TestParseNsPerOpRejectsGarbage(t *testing.T) {
+	if _, err := parseNsPerOp(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseNsPerOp(strings.NewReader(`{"Action":"output","Test":"B","Output":"x y ns/op\n"}` + "\n")); err == nil {
+		t.Fatal("unparseable ns/op accepted")
+	}
+}
+
+func TestParseNsPerOpEmpty(t *testing.T) {
+	got, err := parseNsPerOp(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}

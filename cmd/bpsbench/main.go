@@ -26,6 +26,8 @@ import (
 
 	"bps/internal/experiments"
 	"bps/internal/obs"
+	"bps/internal/obs/forecast"
+	"bps/internal/obs/serve"
 	"bps/internal/report"
 	"bps/internal/sim"
 )
@@ -44,6 +46,8 @@ func main() {
 	faultRates := flag.String("fault-rates", "", "comma-separated fault rates for the FaultSweep x-axis (default 0,0.001,0.004,0.016,0.064)")
 	attribOut := flag.String("attrib-out", "", "run the critical-path profiler, print the per-layer blame table, and write folded flame-graph stacks here")
 	windows := flag.Float64("windows", 0, "streaming windowed estimator width in seconds (0 = off); prints the per-window BPS/IOPS/BW/ARPT series")
+	serveAddr := flag.String("serve", "", "serve live observability on this address while runs execute (/metrics /windows /forecast /stream); forces -parallel 1 and defaults -windows to 0.01")
+	forecastOut := flag.Bool("forecast", false, "run the online burst forecaster over the last run's window series and print per-window forecasts and alerts (needs -windows)")
 	flag.Parse()
 
 	if *faultsFig {
@@ -53,6 +57,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench: -fault-rates:", err)
 		os.Exit(1)
+	}
+
+	if *serveAddr != "" && *windows == 0 {
+		*windows = 0.01
+	}
+	if *forecastOut && *windows == 0 {
+		fmt.Fprintln(os.Stderr, "bpsbench: -forecast needs -windows (the forecaster consumes the window series)")
+		os.Exit(1)
+	}
+	if *serveAddr != "" {
+		// One publisher serves the whole sweep; runs must tick it
+		// sequentially, so the sweep cannot fan out.
+		*parallel = 1
 	}
 
 	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel, FaultRates: rates}
@@ -68,13 +85,25 @@ func main() {
 	}
 
 	suite := experiments.NewSuite(params)
-	if *traceOut != "" || *metricsOut != "" || *attribOut != "" || *windows > 0 {
-		suite.SetObserve(&obs.Options{
+	if *traceOut != "" || *metricsOut != "" || *attribOut != "" || *windows > 0 || *serveAddr != "" {
+		opts := &obs.Options{
 			ChromeTrace: *traceOut != "",
 			SampleEvery: sim.Millisecond,
 			Attribution: *attribOut != "",
 			WindowEvery: sim.Time(*windows * float64(sim.Second)),
-		})
+		}
+		if *serveAddr != "" {
+			pub := serve.NewPublisher("bpsbench -fig "+*fig, forecast.Config{})
+			srv, err := serve.Start(*serveAddr, pub)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bpsbench:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "[serving live observability on http://%s]\n", srv.Addr())
+			opts.Tick = pub.Hook()
+		}
+		suite.SetObserve(opts)
 	}
 
 	if *asCSV {
@@ -83,7 +112,7 @@ func main() {
 		err = run(suite, *fig, *quiet)
 	}
 	if err == nil {
-		err = writeObservation(suite, *traceOut, *metricsOut, *attribOut, *windows > 0)
+		err = writeObservation(suite, *traceOut, *metricsOut, *attribOut, *windows > 0, *forecastOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
@@ -113,10 +142,10 @@ func parseRates(s string) ([]float64, error) {
 }
 
 // writeObservation exports the last instrumented run's Chrome trace,
-// per-layer metrics CSV, and/or attribution report (blame table plus
-// windowed series on stdout, folded stacks to attribOut).
-func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut string, windows bool) error {
-	if traceOut == "" && metricsOut == "" && attribOut == "" && !windows {
+// per-layer metrics CSV, attribution report (blame table plus windowed
+// series on stdout, folded stacks to attribOut), and/or burst forecast.
+func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut string, windows, forecastOut bool) error {
+	if traceOut == "" && metricsOut == "" && attribOut == "" && !windows && !forecastOut {
 		return nil
 	}
 	last := suite.LastObservation()
@@ -157,6 +186,9 @@ func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut 
 			}
 			fmt.Fprintf(os.Stderr, "[wrote folded stacks of run %q to %s]\n", last.Label, attribOut)
 		}
+	}
+	if forecastOut {
+		report.WriteForecast(os.Stdout, last.Obs.Attribution(), forecast.Config{})
 	}
 	return nil
 }

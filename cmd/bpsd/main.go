@@ -1,0 +1,192 @@
+// Command bpsd is the live observability daemon: it runs a simulated
+// workload — a synthetic sequential read by default, or a replay of
+// ingested Darshan-style logs — with the streaming window estimator and
+// the online burst forecaster attached, and serves the run's state over
+// HTTP while it executes:
+//
+//	/metrics   Prometheus text exposition (registry + latest window + forecasts)
+//	/windows   JSON window series (BPS, bandwidth, IOPS, ARPT, utilization)
+//	/forecast  JSON per-series forecasts, model selection, and burst alerts
+//	/stream    Server-Sent Events: windows and alerts as they close
+//
+// Serving is timing-neutral: the exported snapshots are built on sampler
+// ticks inside the simulation without consuming simulated time, so a run
+// under bpsd produces bit-identical metrics to the same run without it.
+// Simulated runs complete far faster than the I/O they model; -pace adds
+// wall-clock delay per sampler tick so the stream is observable in human
+// time (simulated results are unaffected).
+//
+// Usage:
+//
+//	bpsd [-addr :8090] [-stack hddx4] [-seed 1] [-window 0.01] [-sample 0.001]
+//	     [-pace 0] [-loop] [-burst-k 2.5] [-fault-rate 0] [LOGFILE...]
+//
+// With log file arguments the workload is an ingested replay (see the
+// README's ingestion format: CSV segment tables or JSONL); without, a
+// -procs × -mb sequential read. -loop reruns the workload forever, so
+// the endpoints stay live; otherwise bpsd serves the final state until
+// interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bps"
+	"bps/internal/obs"
+	"bps/internal/obs/forecast"
+	"bps/internal/obs/serve"
+	"bps/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "HTTP listen address")
+	stack := flag.String("stack", "hddx4", "simulated stack: hdd, ssd, hddxN, ssdxN (N servers)")
+	seed := flag.Int64("seed", 1, "simulation seed (equal seeds give identical runs)")
+	window := flag.Float64("window", 0.01, "streaming estimator window width in seconds")
+	sample := flag.Float64("sample", 0.001, "sampler tick interval in seconds (drives snapshot publication)")
+	pace := flag.Duration("pace", 0, "wall-clock delay per sampler tick (makes the stream observable; simulated time unaffected)")
+	loop := flag.Bool("loop", false, "rerun the workload forever instead of serving the final state")
+	burstK := flag.Float64("burst-k", 2.5, "burst alert threshold: observed or forecast rate above k×baseline")
+	faultRate := flag.Float64("fault-rate", 0, "inject faults at this rate into the stack")
+	procs := flag.Int("procs", 4, "synthetic workload: process count (ignored with log files)")
+	mb := flag.Int64("mb", 64, "synthetic workload: MiB per process (ignored with log files)")
+	record := flag.Int64("record", 1<<20, "synthetic workload: record size in bytes (ignored with log files)")
+	flag.Parse()
+
+	if err := run(os.Stdout, flag.Args(), options{
+		addr: *addr, stack: *stack, seed: *seed,
+		window: *window, sample: *sample, pace: *pace, loop: *loop,
+		burstK: *burstK, faultRate: *faultRate,
+		procs: *procs, mb: *mb, record: *record,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr      string
+	stack     string
+	seed      int64
+	window    float64
+	sample    float64
+	pace      time.Duration
+	loop      bool
+	burstK    float64
+	faultRate float64
+	procs     int
+	mb        int64
+	record    int64
+}
+
+func run(w io.Writer, logs []string, opts options) error {
+	storage, err := parseStack(opts.stack)
+	if err != nil {
+		return err
+	}
+	storage.FaultRate = opts.faultRate
+
+	var ioLog *bps.IOLog
+	label := fmt.Sprintf("seqread %d×%dMiB on %s", opts.procs, opts.mb, opts.stack)
+	if len(logs) > 0 {
+		if ioLog, err = bps.ReadLogs(logs...); err != nil {
+			return err
+		}
+		label = fmt.Sprintf("replay of %s on %s (%d segments)",
+			strings.Join(logs, ","), opts.stack, ioLog.Len())
+	}
+
+	pub := serve.NewPublisher(label, forecast.Config{BurstK: opts.burstK})
+	srv, err := serve.Start(opts.addr, pub)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "bpsd: serving %s on http://%s (/metrics /windows /forecast /stream)\n", label, srv.Addr())
+
+	hook := pub.Hook()
+	tick := hook
+	if opts.pace > 0 {
+		tick = func(now sim.Time, o *obs.Observer) {
+			hook(now, o)
+			time.Sleep(opts.pace)
+		}
+	}
+	cfg := bps.RunConfig{
+		Storage: storage,
+		Seed:    opts.seed,
+		Observe: &bps.ObserveOptions{
+			SampleEvery: sim.Time(opts.sample * float64(sim.Second)),
+			WindowEvery: sim.Time(opts.window * float64(sim.Second)),
+			Tick:        tick,
+		},
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	for iter := 0; ; iter++ {
+		var rep bps.RunReport
+		if ioLog != nil {
+			rep, err = bps.ReplayLog(cfg, ioLog)
+		} else {
+			rep, err = bps.SimulateSequentialRead(cfg, opts.procs, opts.mb<<20, opts.record)
+		}
+		if err != nil {
+			return err
+		}
+		m := rep.Metrics
+		fmt.Fprintf(w, "bpsd: run %d done: B=%d T=%.6fs BPS=%.2f blk/s IOPS=%.2f BW=%.2f MB/s alerts=%d\n",
+			iter, m.Blocks, m.IOTime.Seconds(), m.BPS(), m.IOPS(), m.Bandwidth()/1e6,
+			len(pub.Tracker().Alerts()))
+		if !opts.loop {
+			break
+		}
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		// The publisher detects the next run's fresh observer and
+		// restarts its window feed on the first tick.
+	}
+
+	fmt.Fprintln(w, "bpsd: serving final state; interrupt to exit")
+	<-stop
+	return nil
+}
+
+// parseStack interprets hdd, ssd, hddxN, ssdxN (same grammar as
+// bpstrace -replay).
+func parseStack(s string) (bps.Storage, error) {
+	media := bps.HDD
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "hdd"):
+		rest = strings.TrimPrefix(s, "hdd")
+	case strings.HasPrefix(s, "ssd"):
+		media = bps.SSD
+		rest = strings.TrimPrefix(s, "ssd")
+	default:
+		return bps.Storage{}, fmt.Errorf("unknown stack %q (hdd, ssd, hddxN, ssdxN)", s)
+	}
+	if rest == "" {
+		return bps.Storage{Media: media}, nil
+	}
+	if !strings.HasPrefix(rest, "x") {
+		return bps.Storage{}, fmt.Errorf("unknown stack %q (hdd, ssd, hddxN, ssdxN)", s)
+	}
+	n, err := strconv.Atoi(rest[1:])
+	if err != nil || n < 1 {
+		return bps.Storage{}, fmt.Errorf("bad server count in %q", s)
+	}
+	return bps.Storage{Media: media, Servers: n, SharedFile: true}, nil
+}

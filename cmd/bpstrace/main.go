@@ -56,6 +56,8 @@ import (
 	"strings"
 
 	"bps"
+	"bps/internal/obs/forecast"
+	"bps/internal/obs/serve"
 	"bps/internal/report"
 	"bps/internal/sim"
 )
@@ -74,12 +76,18 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the replay's per-layer metrics as CSV here (requires a single -replay stack)")
 	attribOut := flag.String("attrib-out", "", "run the replay's critical-path profiler, print the per-layer blame table, and write folded flame-graph stacks here (requires a single -replay stack)")
 	windows := flag.Float64("windows", 0, "streaming windowed estimator width in seconds for the replay (requires a single -replay stack; distinct from -window, which bins the input trace post hoc)")
+	windowsOut := flag.String("windows-out", "", "write the replay's window series as CSV here (requires -windows)")
+	serveAddr := flag.String("serve", "", "serve the replay's live observability on this address (/metrics /windows /forecast /stream); requires a single -replay stack, defaults -windows to 0.01")
+	forecastOut := flag.Bool("forecast", false, "run the online burst forecaster over the replay's window series and print per-window forecasts and alerts (requires -windows)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "bpstrace: no trace files given")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if (*serveAddr != "" || *forecastOut) && *windows == 0 {
+		*windows = 0.01
 	}
 	opts := options{
 		format:        *format,
@@ -95,6 +103,9 @@ func main() {
 		metricsOut:    *metricsOut,
 		attribOut:     *attribOut,
 		windowsEvery:  *windows,
+		windowsOut:    *windowsOut,
+		serveAddr:     *serveAddr,
+		forecast:      *forecastOut,
 	}
 	if err := run(os.Stdout, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "bpstrace:", err)
@@ -117,6 +128,9 @@ type options struct {
 	metricsOut    string
 	attribOut     string
 	windowsEvery  float64
+	windowsOut    string
+	serveAddr     string
+	forecast      bool
 }
 
 func run(w io.Writer, files []string, opts options) error {
@@ -166,6 +180,12 @@ func run(w io.Writer, files []string, opts options) error {
 	if (opts.attribOut != "" || opts.windowsEvery > 0) && opts.replay == "" {
 		return fmt.Errorf("-attrib-out/-windows need -replay: attribution only exists for a simulated run")
 	}
+	if opts.serveAddr != "" && opts.replay == "" {
+		return fmt.Errorf("-serve needs -replay: live observability only exists for a simulated run")
+	}
+	if opts.windowsOut != "" && opts.windowsEvery == 0 {
+		return fmt.Errorf("-windows-out needs -windows: no window series without the streaming estimator")
+	}
 	if opts.replay != "" {
 		if err := printReplay(w, records, opts); err != nil {
 			return err
@@ -203,9 +223,9 @@ func writeFile(name string, fn func(io.Writer) error) error {
 func printReplay(w io.Writer, records []bps.Record, opts options) error {
 	stacks := strings.Split(opts.replay, ",")
 	observing := opts.traceOut != "" || opts.metricsOut != "" ||
-		opts.attribOut != "" || opts.windowsEvery > 0
+		opts.attribOut != "" || opts.windowsEvery > 0 || opts.serveAddr != ""
 	if observing && len(stacks) > 1 {
-		return fmt.Errorf("-trace-out/-metrics-out/-attrib-out/-windows need a single -replay stack, got %d", len(stacks))
+		return fmt.Errorf("-trace-out/-metrics-out/-attrib-out/-windows/-serve need a single -replay stack, got %d", len(stacks))
 	}
 	cfgs := make([]bps.RunConfig, len(stacks))
 	for i, stack := range stacks {
@@ -222,6 +242,16 @@ func printReplay(w io.Writer, records []bps.Record, opts options) error {
 			SampleEvery: sim.Millisecond,
 			Attribution: opts.attribOut != "",
 			WindowEvery: sim.Time(opts.windowsEvery * float64(sim.Second)),
+		}
+		if opts.serveAddr != "" {
+			pub := serve.NewPublisher("bpstrace replay on "+stacks[0], forecast.Config{})
+			srv, err := serve.Start(opts.serveAddr, pub)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "bpstrace: serving live observability on http://%s\n", srv.Addr())
+			cfgs[0].Observe.Tick = pub.Hook()
 		}
 	}
 	reps := make([]bps.RunReport, len(stacks))
@@ -260,6 +290,17 @@ func printReplay(w io.Writer, records []bps.Record, opts options) error {
 				return err
 			}
 			fmt.Fprintf(w, "wrote folded stacks to %s\n", opts.attribOut)
+		}
+		if opts.windowsOut != "" {
+			if err := writeFile(opts.windowsOut, func(f io.Writer) error {
+				return report.WriteWindowsCSV(f, rep)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote window series to %s\n", opts.windowsOut)
+		}
+		if opts.forecast {
+			report.WriteForecast(w, rep, forecast.Config{})
 		}
 	}
 	return nil

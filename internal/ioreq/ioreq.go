@@ -33,6 +33,18 @@ func (o Op) String() string {
 	return "read"
 }
 
+// ParseOp parses the wire spelling of an operation ("read"/"write",
+// accepting the "r"/"w" shorthand trace formats use).
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "read", "r", "R":
+		return OpRead, nil
+	case "write", "w", "W":
+		return OpWrite, nil
+	}
+	return OpRead, fmt.Errorf("ioreq: unknown op %q (read, write)", s)
+}
+
 // Request describes one access travelling down the layer pipeline. A
 // logical application call allocates one Request; layers that split it
 // (striping, sieving, cache miss runs) derive sub-requests via Child,

@@ -245,6 +245,26 @@ func (r *Report) Dominant() string {
 	return r.Layers[best].Layer
 }
 
+// LiveWindows returns the estimator's window series as of now, without
+// memoizing a report — the live-serving path calls it mid-run, on
+// sampler ticks. Nil when windows are disabled. Windows whose end lies
+// at or before the current simulated time are final except for Busy,
+// which an in-flight long access can still extend retroactively.
+func (c *Collector) LiveWindows() []Window {
+	if c == nil || c.est == nil {
+		return nil
+	}
+	return c.est.Windows()
+}
+
+// WindowEvery returns the estimator's window width (0 when disabled).
+func (c *Collector) WindowEvery() sim.Time {
+	if c == nil || c.est == nil {
+		return 0
+	}
+	return c.est.Every()
+}
+
 // Report computes (once) the attribution from everything collected.
 func (c *Collector) Report() *Report {
 	if c == nil {

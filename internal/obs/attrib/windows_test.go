@@ -1,6 +1,8 @@
 package attrib
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"bps/internal/sim"
@@ -14,8 +16,8 @@ const win = 10 * sim.Millisecond
 // left window — the same convention as core.Timeline.
 func TestWindowsCompletionAttribution(t *testing.T) {
 	e := NewWindowEstimator(win)
-	e.Add(4, 0, win)          // ends exactly on the first boundary → window 0
-	e.Add(8, win/2, win+1)    // crosses the boundary → window 1
+	e.Add(4, 0, win)             // ends exactly on the first boundary → window 0
+	e.Add(8, win/2, win+1)       // crosses the boundary → window 1
 	e.Add(2, 2*win, 2*win+win/2) // window 2
 	wins := e.Windows()
 
@@ -127,6 +129,120 @@ func TestEstimatorRejectsBadInput(t *testing.T) {
 	ne.Add(1, 0, 1)
 	if ne.Windows() != nil || ne.Every() != 0 {
 		t.Fatal("nil estimator produced data")
+	}
+}
+
+// TestEstimatorOutOfOrderFinishes: the simulation feeds completions in
+// end-time order, but the estimator must not depend on it — the same
+// accesses added in any order produce the identical series.
+func TestEstimatorOutOfOrderFinishes(t *testing.T) {
+	accesses := [][3]sim.Time{ // {blocks (as Time for brevity), start, end}
+		{4, 0, 3 * sim.Millisecond},
+		{8, 2 * sim.Millisecond, 15 * sim.Millisecond},
+		{2, 12 * sim.Millisecond, 13 * sim.Millisecond},
+		{6, 25 * sim.Millisecond, 31 * sim.Millisecond},
+		{1, 9 * sim.Millisecond, 9 * sim.Millisecond},
+	}
+	feed := func(order []int) []Window {
+		e := NewWindowEstimator(win)
+		for _, i := range order {
+			a := accesses[i]
+			e.Add(int64(a[0]), a[1], a[2])
+		}
+		return e.Windows()
+	}
+	sorted := feed([]int{0, 4, 2, 1, 3})
+	reversed := feed([]int{3, 1, 2, 4, 0})
+	shuffled := feed([]int{2, 0, 3, 1, 4})
+	if !reflect.DeepEqual(sorted, reversed) || !reflect.DeepEqual(sorted, shuffled) {
+		t.Fatalf("series depends on add order:\nsorted:   %+v\nreversed: %+v\nshuffled: %+v",
+			sorted, reversed, shuffled)
+	}
+}
+
+// TestEstimatorStraddlingSpan: one access spanning several whole
+// windows books its ops/blocks in the completion window but spreads its
+// busy time across every window it crosses.
+func TestEstimatorStraddlingSpan(t *testing.T) {
+	e := NewWindowEstimator(win)
+	// [5ms, 35ms): crosses windows 0..3, completes in window 3.
+	e.Add(10, win/2, 3*win+win/2)
+	wins := e.Windows()
+	if len(wins) != 4 {
+		t.Fatalf("windows = %d, want 4", len(wins))
+	}
+	for i, w := range wins {
+		wantOps := int64(0)
+		if i == 3 {
+			wantOps = 1
+		}
+		if w.Ops != wantOps {
+			t.Errorf("window %d ops = %d, want %d (completion-time attribution)", i, w.Ops, wantOps)
+		}
+		wantBusy := win
+		if i == 0 || i == 3 {
+			wantBusy = win / 2
+		}
+		if w.Busy != wantBusy {
+			t.Errorf("window %d busy = %v, want %v", i, w.Busy, wantBusy)
+		}
+	}
+	if wins[3].Blocks != 10 {
+		t.Errorf("window 3 blocks = %d, want 10", wins[3].Blocks)
+	}
+	// Middle windows are busy the whole time but complete nothing: their
+	// rates must still be finite (zero ops, nonzero busy).
+	if got := wins[1].BPS(); got != 0 {
+		t.Errorf("window 1 BPS = %v, want 0 (no completions)", got)
+	}
+	if got := wins[1].Utilization(); got != 1 {
+		t.Errorf("window 1 utilization = %v, want 1", got)
+	}
+}
+
+// TestEstimatorSpanEndingOnBoundary: a span ending exactly on a window
+// boundary contributes busy only to the left window and none past it.
+func TestEstimatorSpanEndingOnBoundary(t *testing.T) {
+	e := NewWindowEstimator(win)
+	e.Add(5, win/2, 2*win) // ends exactly at the window-1/2 boundary
+	wins := e.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2 (boundary end belongs left)", len(wins))
+	}
+	if wins[1].Ops != 1 || wins[1].Blocks != 5 {
+		t.Errorf("window 1 ops/blocks = %d/%d, want 1/5", wins[1].Ops, wins[1].Blocks)
+	}
+	if wins[0].Busy != win/2 || wins[1].Busy != win {
+		t.Errorf("busy = %v,%v, want %v,%v", wins[0].Busy, wins[1].Busy, win/2, win)
+	}
+}
+
+// TestWindowRatesNeverNaNOrInf sweeps degenerate windows — zero busy,
+// zero width, zero ops, inverted bounds — through every rate helper:
+// all must return finite values (satellite: no NaN/Inf in exports).
+func TestWindowRatesNeverNaNOrInf(t *testing.T) {
+	cases := []Window{
+		{},
+		{Start: win, End: win}, // zero width
+		{Start: win, End: 2 * win, Ops: 3, Blocks: 12}, // ops but no busy
+		{Start: win, End: 2 * win, Busy: win},          // busy but no ops
+		{Start: 2 * win, End: win, Ops: 1, Blocks: 1},  // inverted bounds
+		{Start: 0, End: win, SumDur: win, Busy: -win},  // negative busy
+	}
+	for i, w := range cases {
+		for name, v := range map[string]float64{
+			"BPS": w.BPS(), "IOPS": w.IOPS(), "Bandwidth": w.Bandwidth(),
+			"ARPT": w.ARPT(), "Utilization": w.Utilization(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("case %d: %s = %v on %+v", i, name, v, w)
+			}
+		}
+	}
+	// The common degenerate values are exactly zero, not merely finite.
+	z := Window{Start: win, End: win}
+	if z.BPS() != 0 || z.Utilization() != 0 {
+		t.Errorf("zero-width window rates: BPS=%v Util=%v, want 0", z.BPS(), z.Utilization())
 	}
 }
 

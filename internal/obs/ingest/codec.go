@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bps/internal/ioreq"
+)
+
+// The CSV form carries the timestamped segments (the shape of a
+// Darshan DXT trace exported as a table); counters, which need a second
+// record kind, travel in the JSONL form. Both round-trip losslessly for
+// what they carry.
+
+// csvHeader is the required first row of the CSV encoding.
+var csvHeader = []string{"rank", "file", "op", "offset", "length", "start_s", "end_s"}
+
+// WriteCSV encodes the log's segments as CSV with a header row.
+func WriteCSV(w io.Writer, l *Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, s := range l.Segments {
+		row := []string{
+			strconv.FormatInt(s.Rank, 10),
+			s.File,
+			s.Op.String(),
+			strconv.FormatInt(s.Offset, 10),
+			strconv.FormatInt(s.Length, 10),
+			strconv.FormatFloat(s.Start, 'g', -1, 64),
+			strconv.FormatFloat(s.End, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a segment table written by WriteCSV (or exported from
+// real tracing). The header row is required; comment lines starting
+// with '#' are skipped.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("ingest: CSV header %v, want %v", header, csvHeader)
+	}
+	for i := range csvHeader {
+		if strings.TrimSpace(header[i]) != csvHeader[i] {
+			return nil, fmt.Errorf("ingest: CSV header %v, want %v", header, csvHeader)
+		}
+	}
+	l := &Log{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return l, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		s, err := parseSegmentRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: CSV line %d: %w", line, err)
+		}
+		l.Segments = append(l.Segments, s)
+	}
+}
+
+// parseSegmentRow decodes one CSV segment row.
+func parseSegmentRow(row []string) (Segment, error) {
+	var s Segment
+	var err error
+	if s.Rank, err = strconv.ParseInt(strings.TrimSpace(row[0]), 10, 64); err != nil {
+		return s, fmt.Errorf("rank: %w", err)
+	}
+	s.File = row[1]
+	if s.Op, err = ioreq.ParseOp(strings.TrimSpace(row[2])); err != nil {
+		return s, err
+	}
+	if s.Offset, err = strconv.ParseInt(strings.TrimSpace(row[3]), 10, 64); err != nil {
+		return s, fmt.Errorf("offset: %w", err)
+	}
+	if s.Length, err = strconv.ParseInt(strings.TrimSpace(row[4]), 10, 64); err != nil {
+		return s, fmt.Errorf("length: %w", err)
+	}
+	if s.Start, err = strconv.ParseFloat(strings.TrimSpace(row[5]), 64); err != nil {
+		return s, fmt.Errorf("start_s: %w", err)
+	}
+	if s.End, err = strconv.ParseFloat(strings.TrimSpace(row[6]), 64); err != nil {
+		return s, fmt.Errorf("end_s: %w", err)
+	}
+	return s, nil
+}
+
+// jsonLine is the JSONL wire form: one object per line, discriminated
+// by "type" ("segment" when absent, matching bare DXT exports).
+type jsonLine struct {
+	Type   string  `json:"type,omitempty"`
+	Rank   int64   `json:"rank"`
+	File   string  `json:"file"`
+	Op     string  `json:"op,omitempty"`
+	Offset int64   `json:"offset,omitempty"`
+	Length int64   `json:"length,omitempty"`
+	Start  float64 `json:"start,omitempty"`
+	End    float64 `json:"end,omitempty"`
+	Name   string  `json:"name,omitempty"`
+	Value  int64   `json:"value,omitempty"`
+}
+
+// WriteJSONL encodes the full log — counters then segments — as one
+// JSON object per line.
+func WriteJSONL(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, c := range l.Counters {
+		if err := enc.Encode(jsonLine{Type: "counter", Rank: c.Rank, File: c.File, Name: c.Name, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, s := range l.Segments {
+		if err := enc.Encode(jsonLine{
+			Type: "segment", Rank: s.Rank, File: s.File, Op: s.Op.String(),
+			Offset: s.Offset, Length: s.Length, Start: s.Start, End: s.End,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a log written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for n := 1; ; n++ {
+		var jl jsonLine
+		if err := dec.Decode(&jl); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("ingest: JSONL record %d: %w", n, err)
+		}
+		switch jl.Type {
+		case "counter":
+			l.Counters = append(l.Counters, Counter{Rank: jl.Rank, File: jl.File, Name: jl.Name, Value: jl.Value})
+		case "segment", "":
+			op, err := ioreq.ParseOp(jl.Op)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: JSONL record %d: %w", n, err)
+			}
+			l.Segments = append(l.Segments, Segment{
+				Rank: jl.Rank, File: jl.File, Op: op,
+				Offset: jl.Offset, Length: jl.Length, Start: jl.Start, End: jl.End,
+			})
+		default:
+			return nil, fmt.Errorf("ingest: JSONL record %d: unknown type %q (segment, counter)", n, jl.Type)
+		}
+	}
+}
+
+// ReadAuto sniffs the format from the file name: .csv reads the segment
+// table, anything else (typically .jsonl/.json) the JSONL form.
+func ReadAuto(name string, r io.Reader) (*Log, error) {
+	if strings.HasSuffix(strings.ToLower(name), ".csv") {
+		return ReadCSV(r)
+	}
+	return ReadJSONL(r)
+}

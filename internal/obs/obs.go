@@ -54,6 +54,13 @@ type Options struct {
 	// fed live at access completion (Observer.AppAccess) and returned
 	// in the attribution report.
 	WindowEvery sim.Time
+
+	// Tick, when set, runs at the end of every sampler pass (each
+	// periodic tick and the final FinishSampling), in simulation
+	// context. It must not consume simulated time: the live-serving
+	// layer uses it to snapshot the registry and window series without
+	// perturbing the run. Requires SampleEvery > 0 to fire periodically.
+	Tick func(now sim.Time, o *Observer)
 }
 
 // Observer ties the pieces together for one engine: it implements
@@ -119,6 +126,9 @@ func Attach(e *sim.Engine, opts Options) *Observer {
 			o.sampler.onSample = func(name string, at sim.Time, v float64) {
 				o.buf.counter(name, at, v)
 			}
+		}
+		if opts.Tick != nil {
+			o.sampler.onTick = func(now sim.Time) { opts.Tick(now, o) }
 		}
 	}
 	return o
@@ -240,6 +250,25 @@ func (o *Observer) AppAccess(blocks int64, start, end sim.Time) {
 		return
 	}
 	o.attrib.AddAccess(blocks, start, end)
+}
+
+// LiveWindows returns the streaming estimator's window series as of the
+// current simulated time, without computing the memoized report — safe
+// to call mid-run from a Tick hook. Nil when windows are disabled.
+func (o *Observer) LiveWindows() []attrib.Window {
+	if o == nil || o.attrib == nil {
+		return nil
+	}
+	return o.attrib.LiveWindows()
+}
+
+// WindowEvery returns the streaming estimator's window width (0 when
+// windows are disabled).
+func (o *Observer) WindowEvery() sim.Time {
+	if o == nil || o.attrib == nil {
+		return 0
+	}
+	return o.attrib.WindowEvery()
 }
 
 // Attribution computes (once) and returns the run's critical-path

@@ -28,6 +28,12 @@ type Sampler struct {
 	// onSample, when set, additionally receives every sampled value —
 	// the observer uses it to emit Chrome counter tracks.
 	onSample func(name string, at sim.Time, v float64)
+
+	// onTick, when set, runs once at the end of every sample pass (the
+	// periodic daemon ticks and the final Finish sample). It runs in
+	// simulation context and must not consume simulated time — the live
+	// observability hook publishes snapshots through it.
+	onTick func(now sim.Time)
 }
 
 // StartSampler spawns the sampler daemon on e, ticking every interval.
@@ -82,6 +88,9 @@ func (s *Sampler) sample(now sim.Time) {
 	}
 	for _, pr := range s.reg.Probes() {
 		s.record(pr.Name, now, pr.Fn())
+	}
+	if s.onTick != nil {
+		s.onTick(now)
 	}
 }
 

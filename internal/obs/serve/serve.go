@@ -1,0 +1,482 @@
+// Package serve is the live export surface of the observability
+// subsystem: a Publisher that snapshots the metrics registry and the
+// streaming window series on sampler ticks — inside the simulation,
+// without consuming simulated time — and an HTTP server that exposes
+// the snapshots as Prometheus-text /metrics, JSON /windows and
+// /forecast, and an SSE /stream of windows and burst alerts as they
+// close.
+//
+// The split keeps the timing-neutrality contract trivial to audit: the
+// only code that runs in simulation context is the Tick hook, which
+// reads observer state the simulation goroutine already owns and
+// publishes an immutable Snapshot behind a mutex. HTTP handlers (their
+// own goroutines) only ever read published snapshots; nothing they do
+// can reach back into the run. A run with serving attached produces
+// bit-identical metrics, traces, and window series to the same run
+// without it.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"bps/internal/obs"
+	"bps/internal/obs/attrib"
+	"bps/internal/obs/forecast"
+	"bps/internal/sim"
+)
+
+// WindowJSON is one closed (or in-progress) window in wire form.
+type WindowJSON struct {
+	Index  int     `json:"index"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Ops    int64   `json:"ops"`
+	Blocks int64   `json:"blocks"`
+	BusyS  float64 `json:"busy_s"`
+	BPS    float64 `json:"bps"`
+	BW     float64 `json:"bw_bytes_per_s"`
+	IOPS   float64 `json:"iops"`
+	ARPTS  float64 `json:"arpt_s"`
+	Util   float64 `json:"utilization"`
+}
+
+func windowJSON(i int, w attrib.Window) WindowJSON {
+	return WindowJSON{
+		Index:  i,
+		StartS: w.Start.Seconds(),
+		EndS:   w.End.Seconds(),
+		Ops:    w.Ops,
+		Blocks: w.Blocks,
+		BusyS:  w.Busy.Seconds(),
+		BPS:    w.BPS(),
+		BW:     w.Bandwidth(),
+		IOPS:   w.IOPS(),
+		ARPTS:  w.ARPT(),
+		Util:   w.Utilization(),
+	}
+}
+
+// PointJSON is one forecast point in wire form.
+type PointJSON struct {
+	Index    int     `json:"index"`
+	Observed float64 `json:"observed"`
+	Forecast float64 `json:"forecast"`
+	Model    string  `json:"model"`
+	Baseline float64 `json:"baseline"`
+}
+
+// SeriesJSON is one forecast series in wire form.
+type SeriesJSON struct {
+	Name   string      `json:"name"`
+	Model  string      `json:"model"`  // currently selected model
+	MAE    float64     `json:"mae"`    // its rolling mean absolute error
+	Points []PointJSON `json:"points"` // one per closed window, in order
+}
+
+// AlertJSON is one burst alert in wire form.
+type AlertJSON struct {
+	Series string  `json:"series"`
+	Window int     `json:"window"`
+	Kind   string  `json:"kind"` // "observed" or "forecast"
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+}
+
+func alertJSON(a forecast.Alert) AlertJSON {
+	return AlertJSON{Series: a.Series, Window: a.Window, Kind: a.Kind.String(), Value: a.Value, Limit: a.Limit}
+}
+
+// MetricJSON is one scalar registry metric in wire form.
+type MetricJSON struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter" or "gauge"
+	Value float64 `json:"value"`
+}
+
+// HistJSON is one duration histogram summary in wire form.
+type HistJSON struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot is one published view of the run, immutable once built.
+type Snapshot struct {
+	Label   string       `json:"label"`
+	NowS    float64      `json:"now_s"`
+	WindowS float64      `json:"window_s"`
+	Closed  int          `json:"closed"` // windows fed to the forecaster so far
+	Windows []WindowJSON `json:"windows"`
+	Series  []SeriesJSON `json:"series"`
+	Alerts  []AlertJSON  `json:"alerts"`
+	Metrics []MetricJSON `json:"metrics"`
+	Hists   []HistJSON   `json:"histograms"`
+}
+
+// event is one SSE broadcast.
+type event struct {
+	kind string // "window" or "alert"
+	data []byte
+}
+
+// Publisher feeds the forecaster from closing windows and publishes
+// immutable snapshots for the HTTP layer. Create one per run, install
+// its Hook as obs.Options.Tick, and serve its Handler.
+type Publisher struct {
+	label   string
+	fcfg    forecast.Config
+	tracker *forecast.Tracker
+
+	fed     int           // windows already fed to the tracker
+	lastRun *obs.Observer // observer of the run currently ticking
+
+	mu   sync.RWMutex
+	snap *Snapshot
+
+	smu  sync.Mutex
+	subs map[chan event]bool
+}
+
+// NewPublisher returns a publisher for one labeled run. The forecast
+// config's zero value selects the documented defaults.
+func NewPublisher(label string, fcfg forecast.Config) *Publisher {
+	return &Publisher{
+		label:   label,
+		fcfg:    fcfg,
+		tracker: forecast.NewTracker(fcfg),
+		subs:    make(map[chan event]bool),
+	}
+}
+
+// Reset prepares the publisher for a fresh run: new forecaster, window
+// feed restarted from index zero. The last published snapshot and any
+// SSE subscribers are kept, so a looping daemon serves continuously
+// across runs. Call it between runs only — never while a simulation
+// that ticks this publisher is in flight.
+func (p *Publisher) Reset() {
+	p.fed = 0
+	p.tracker = forecast.NewTracker(p.fcfg)
+}
+
+// Tracker returns the publisher's forecast tracker (final state is
+// valid after the run for post-hoc reporting).
+func (p *Publisher) Tracker() *forecast.Tracker { return p.tracker }
+
+// Hook returns the function to install as obs.Options.Tick. It runs in
+// simulation context on every sampler pass: feeds windows that have
+// closed by now to the forecaster, rebuilds the snapshot, and
+// broadcasts SSE events — all without touching simulated time.
+func (p *Publisher) Hook() func(now sim.Time, o *obs.Observer) {
+	return func(now sim.Time, o *obs.Observer) { p.tick(now, o) }
+}
+
+func (p *Publisher) tick(now sim.Time, o *obs.Observer) {
+	// One publisher can serve a sequence of runs (a looping daemon, a
+	// suite sweep): each run attaches its own observer, so a new
+	// observer pointer marks a run boundary and restarts the window
+	// feed. Runs must tick sequentially, never interleaved.
+	if o != p.lastRun {
+		if p.lastRun != nil {
+			p.Reset()
+		}
+		p.lastRun = o
+	}
+	wins := o.LiveWindows()
+	var events []event
+
+	// Feed windows whose end has passed: their ops/blocks/durations are
+	// final (completions arrive in end-time order and the sampler tick
+	// runs after all foreground events at this timestamp); only Busy can
+	// still grow if a long access is in flight across the boundary.
+	for p.fed < len(wins) && wins[p.fed].End <= now {
+		w := wins[p.fed]
+		alerts := p.tracker.ObserveWindow(w)
+		if data, err := json.Marshal(windowJSON(p.fed, w)); err == nil {
+			events = append(events, event{kind: "window", data: data})
+		}
+		for _, a := range alerts {
+			if data, err := json.Marshal(alertJSON(a)); err == nil {
+				events = append(events, event{kind: "alert", data: data})
+			}
+		}
+		p.fed++
+	}
+
+	p.publish(p.buildSnapshot(now, o))
+	p.broadcast(events)
+}
+
+// buildSnapshot assembles one immutable snapshot. Runs in simulation
+// context, so registry reads are unsynchronized single-thread reads.
+func (p *Publisher) buildSnapshot(now sim.Time, o *obs.Observer) *Snapshot {
+	s := &Snapshot{
+		Label:   p.label,
+		NowS:    now.Seconds(),
+		WindowS: o.WindowEvery().Seconds(),
+		Closed:  p.fed,
+	}
+	for i, w := range o.LiveWindows() {
+		s.Windows = append(s.Windows, windowJSON(i, w))
+	}
+	for _, fs := range p.tracker.Series() {
+		sj := SeriesJSON{Name: fs.Name(), Model: fs.Last().Model.String(), MAE: fs.MAE()}
+		for _, pt := range fs.Points() {
+			sj.Points = append(sj.Points, PointJSON{
+				Index: pt.Index, Observed: pt.Observed, Forecast: pt.Forecast,
+				Model: pt.Model.String(), Baseline: pt.Baseline,
+			})
+		}
+		s.Series = append(s.Series, sj)
+	}
+	for _, a := range p.tracker.Alerts() {
+		s.Alerts = append(s.Alerts, alertJSON(a))
+	}
+	reg := o.Registry()
+	for _, c := range reg.Counters() {
+		s.Metrics = append(s.Metrics, MetricJSON{Name: c.Name(), Kind: "counter", Value: float64(c.Value())})
+	}
+	for _, g := range reg.Gauges() {
+		s.Metrics = append(s.Metrics, MetricJSON{Name: g.Name(), Kind: "gauge", Value: g.Value()})
+	}
+	for _, h := range reg.Histograms() {
+		s.Hists = append(s.Hists, HistJSON{
+			Name: h.Name(), Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99), Max: h.Max(),
+		})
+	}
+	return s
+}
+
+func (p *Publisher) publish(s *Snapshot) {
+	p.mu.Lock()
+	p.snap = s
+	p.mu.Unlock()
+}
+
+// Snapshot returns the most recently published snapshot (nil before the
+// first tick).
+func (p *Publisher) Snapshot() *Snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.snap
+}
+
+// subscribe registers an SSE consumer channel.
+func (p *Publisher) subscribe() chan event {
+	ch := make(chan event, 256)
+	p.smu.Lock()
+	p.subs[ch] = true
+	p.smu.Unlock()
+	return ch
+}
+
+func (p *Publisher) unsubscribe(ch chan event) {
+	p.smu.Lock()
+	delete(p.subs, ch)
+	p.smu.Unlock()
+}
+
+// broadcast fans events out to subscribers, never blocking the
+// simulation: a subscriber whose buffer is full misses events (it can
+// re-sync from /windows).
+func (p *Publisher) broadcast(events []event) {
+	if len(events) == 0 {
+		return
+	}
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	for ch := range p.subs {
+		for _, ev := range events {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// --- HTTP layer ------------------------------------------------------
+
+// Handler returns the endpoint mux: /metrics (Prometheus text),
+// /windows and /forecast (JSON), /stream (SSE).
+func (p *Publisher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/windows", p.handleWindows)
+	mux.HandleFunc("/forecast", p.handleForecast)
+	mux.HandleFunc("/stream", p.handleStream)
+	mux.HandleFunc("/", p.handleIndex)
+	return mux
+}
+
+func (p *Publisher) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "bps live observability (%s)\nendpoints: /metrics /windows /forecast /stream\n", p.label)
+}
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name under the bps_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("bps_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (p *Publisher) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s := p.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s == nil {
+		fmt.Fprintf(w, "# no snapshot published yet\n")
+		return
+	}
+	writeProm(w, s)
+}
+
+// writeProm renders a snapshot in the Prometheus text exposition
+// format: registry scalars, histogram summaries, and the latest closed
+// window's rates plus the current forecasts.
+func writeProm(w io.Writer, s *Snapshot) {
+	fmt.Fprintf(w, "# HELP bps_sim_now_seconds Simulated time of this snapshot.\n")
+	fmt.Fprintf(w, "# TYPE bps_sim_now_seconds gauge\nbps_sim_now_seconds %g\n", s.NowS)
+	for _, m := range s.Metrics {
+		n := promName(m.Name)
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", n, m.Kind, n, m.Value)
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", n, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %d\n", n, h.P95)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", n, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	if s.Closed > 0 && s.Closed <= len(s.Windows) {
+		last := s.Windows[s.Closed-1]
+		fmt.Fprintf(w, "# HELP bps_window_bps Latest closed window's BPS (blocks/s of busy time).\n")
+		fmt.Fprintf(w, "# TYPE bps_window_bps gauge\nbps_window_bps %g\n", last.BPS)
+		fmt.Fprintf(w, "# TYPE bps_window_bandwidth_bytes_per_second gauge\nbps_window_bandwidth_bytes_per_second %g\n", last.BW)
+		fmt.Fprintf(w, "# TYPE bps_window_iops gauge\nbps_window_iops %g\n", last.IOPS)
+		fmt.Fprintf(w, "# TYPE bps_window_utilization gauge\nbps_window_utilization %g\n", last.Util)
+		fmt.Fprintf(w, "# TYPE bps_window_index gauge\nbps_window_index %d\n", last.Index)
+	}
+	for _, fs := range s.Series {
+		if len(fs.Points) == 0 {
+			continue
+		}
+		last := fs.Points[len(fs.Points)-1]
+		fmt.Fprintf(w, "# TYPE bps_forecast_next gauge\nbps_forecast_next{series=%q,model=%q} %g\n",
+			fs.Name, last.Model, last.Forecast)
+	}
+	fmt.Fprintf(w, "# TYPE bps_alerts_total counter\nbps_alerts_total %d\n", len(s.Alerts))
+}
+
+func (p *Publisher) handleWindows(w http.ResponseWriter, r *http.Request) {
+	s := p.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if s == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Label   string       `json:"label"`
+		NowS    float64      `json:"now_s"`
+		WindowS float64      `json:"window_s"`
+		Closed  int          `json:"closed"`
+		Windows []WindowJSON `json:"windows"`
+	}{s.Label, s.NowS, s.WindowS, s.Closed, s.Windows})
+}
+
+func (p *Publisher) handleForecast(w http.ResponseWriter, r *http.Request) {
+	s := p.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if s == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Label  string       `json:"label"`
+		NowS   float64      `json:"now_s"`
+		Series []SeriesJSON `json:"series"`
+		Alerts []AlertJSON  `json:"alerts"`
+	}{s.Label, s.NowS, s.Series, s.Alerts})
+}
+
+// handleStream serves SSE: a "snapshot" event with the current state,
+// then "window" and "alert" events as the run progresses.
+func (p *Publisher) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := p.subscribe()
+	defer p.unsubscribe(ch)
+
+	if s := p.Snapshot(); s != nil {
+		if data, err := json.Marshal(s); err == nil {
+			fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, ev.data)
+			fl.Flush()
+		}
+	}
+}
+
+// Server is a running HTTP endpoint over one publisher.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// publisher's handler until Close.
+func Start(addr string, p *Publisher) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: p.Handler()}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

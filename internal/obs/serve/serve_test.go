@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bps"
+	"bps/internal/obs/forecast"
+	"bps/internal/sim"
+)
+
+// runCfg is a small cluster run with windows and sampling on.
+func runCfg(tick func(sim.Time, *bps.Observer)) bps.RunConfig {
+	return bps.RunConfig{
+		Storage: bps.Storage{Media: bps.HDD, Servers: 2, SharedFile: true},
+		Seed:    7,
+		Observe: &bps.ObserveOptions{
+			SampleEvery: sim.Millisecond,
+			WindowEvery: 10 * sim.Millisecond,
+			Tick:        tick,
+		},
+	}
+}
+
+func mustRun(t *testing.T, tick func(sim.Time, *bps.Observer)) bps.RunReport {
+	t.Helper()
+	rep, err := bps.SimulateSequentialRead(runCfg(tick), 2, 4<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTimingNeutrality is the serving contract: a run with the live
+// publisher hooked in produces bit-identical records, metrics, and
+// window series to the same run without it.
+func TestTimingNeutrality(t *testing.T) {
+	plain := mustRun(t, nil)
+
+	pub := NewPublisher("test", forecast.Config{})
+	hooked := mustRun(t, pub.Hook())
+
+	if plain.Metrics != hooked.Metrics {
+		t.Errorf("metrics diverged:\nplain:  %+v\nhooked: %+v", plain.Metrics, hooked.Metrics)
+	}
+	if !reflect.DeepEqual(plain.Records, hooked.Records) {
+		t.Error("records diverged under serving")
+	}
+	if !reflect.DeepEqual(plain.Attribution.Windows, hooked.Attribution.Windows) {
+		t.Error("window series diverged under serving")
+	}
+}
+
+// TestPublisherDeterminism runs the same simulation twice against two
+// publishers and requires identical snapshots and forecasts — the
+// replay-twice acceptance criterion at the publisher level.
+func TestPublisherDeterminism(t *testing.T) {
+	run := func() *Snapshot {
+		pub := NewPublisher("det", forecast.Config{})
+		mustRun(t, pub.Hook())
+		return pub.Snapshot()
+	}
+	s1, s2 := run(), run()
+	if s1 == nil || s2 == nil {
+		t.Fatal("no snapshot published")
+	}
+	b1, _ := json.Marshal(s1)
+	b2, _ := json.Marshal(s2)
+	if string(b1) != string(b2) {
+		t.Fatalf("snapshots diverged across identical runs:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestSnapshotContents sanity-checks what one run publishes: closed
+// windows fed in order, three forecast series, registry metrics.
+func TestSnapshotContents(t *testing.T) {
+	pub := NewPublisher("contents", forecast.Config{})
+	mustRun(t, pub.Hook())
+	s := pub.Snapshot()
+	if s == nil {
+		t.Fatal("no snapshot published")
+	}
+	if s.Closed == 0 || len(s.Windows) < s.Closed {
+		t.Fatalf("closed=%d windows=%d: want some closed windows", s.Closed, len(s.Windows))
+	}
+	if len(s.Series) != len(forecast.TrackedSeries) {
+		t.Fatalf("got %d forecast series, want %d", len(s.Series), len(forecast.TrackedSeries))
+	}
+	for _, fs := range s.Series {
+		if len(fs.Points) != s.Closed {
+			t.Errorf("series %q has %d points, want %d (one per closed window)", fs.Name, len(fs.Points), s.Closed)
+		}
+	}
+	if len(s.Metrics) == 0 || len(s.Hists) == 0 {
+		t.Fatal("snapshot missing registry metrics")
+	}
+	if s.NowS <= 0 || s.WindowS != 0.01 {
+		t.Fatalf("now=%v window=%v: bad snapshot header", s.NowS, s.WindowS)
+	}
+}
+
+// TestPublisherMultiRunReset checks one publisher serving consecutive
+// runs restarts its window feed per run instead of accumulating.
+func TestPublisherMultiRunReset(t *testing.T) {
+	pub := NewPublisher("multi", forecast.Config{})
+	mustRun(t, pub.Hook())
+	first := pub.Snapshot()
+	mustRun(t, pub.Hook())
+	second := pub.Snapshot()
+	if second.Closed != first.Closed {
+		t.Fatalf("second run closed %d windows, want %d (feed must restart per run)", second.Closed, first.Closed)
+	}
+}
+
+// TestEndpoints exercises the HTTP surface over a finished run.
+func TestEndpoints(t *testing.T) {
+	pub := NewPublisher("http", forecast.Config{})
+	mustRun(t, pub.Hook())
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{"bps_sim_now_seconds", "bps_window_bps", "bps_forecast_next", "bps_alerts_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, "NaN") || strings.Contains(metrics, "Inf") {
+		t.Error("/metrics contains NaN/Inf")
+	}
+
+	var wins struct {
+		Windows []WindowJSON `json:"windows"`
+		Closed  int          `json:"closed"`
+	}
+	if err := json.Unmarshal([]byte(get("/windows")), &wins); err != nil {
+		t.Fatalf("/windows: %v", err)
+	}
+	if len(wins.Windows) == 0 || wins.Closed == 0 {
+		t.Fatal("/windows served no windows")
+	}
+
+	var fc struct {
+		Series []SeriesJSON `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(get("/forecast")), &fc); err != nil {
+		t.Fatalf("/forecast: %v", err)
+	}
+	if len(fc.Series) != 3 {
+		t.Fatalf("/forecast served %d series, want 3", len(fc.Series))
+	}
+
+	if idx := get("/"); !strings.Contains(idx, "/stream") {
+		t.Errorf("index page missing endpoint list: %q", idx)
+	}
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: %s, want 404", resp.Status)
+	}
+}
+
+// TestStreamSSE checks /stream: an immediate snapshot event, then live
+// window events broadcast by a later run.
+func TestStreamSSE(t *testing.T) {
+	pub := NewPublisher("sse", forecast.Config{})
+	mustRun(t, pub.Hook())
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line) != "event: snapshot" {
+		t.Fatalf("first SSE line %q, want snapshot event", line)
+	}
+
+	// A second run broadcasts its windows to the open subscriber.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mustRun(t, pub.Hook())
+	}()
+	<-done
+	sawWindow := false
+	for i := 0; i < 200 && !sawWindow; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		if strings.TrimSpace(line) == "event: window" {
+			sawWindow = true
+		}
+	}
+	if !sawWindow {
+		t.Fatal("no window event streamed during the second run")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim/engine/events":  "bps_sim_engine_events",
+		"device/hdd.bytes":   "bps_device_hdd_bytes",
+		"already_legal_123":  "bps_already_legal_123",
+		"weird metric (x%y)": "bps_weird_metric__x_y_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServerStartClose checks the real listener path used by the cmds.
+func TestServerStartClose(t *testing.T) {
+	pub := NewPublisher("srv", forecast.Config{})
+	mustRun(t, pub.Hook())
+	srv, err := Start("127.0.0.1:0", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/windows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /windows: %s", resp.Status)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bps/internal/obs/attrib"
+	"bps/internal/obs/forecast"
+)
+
+// WriteForecast replays a run's closed window series through the online
+// burst forecaster and renders the per-window forecasts: observed BPS,
+// one-step-ahead prediction, the model selection, the EWMA baseline,
+// and any burst alerts. Post hoc it sees exactly the windows the live
+// path fed at sampler ticks, so its output matches what /forecast
+// served during the run. Deterministic for equal reports.
+func WriteForecast(w io.Writer, rep *attrib.Report, cfg forecast.Config) {
+	if rep == nil || len(rep.Windows) == 0 {
+		return
+	}
+	tr := forecast.NewTracker(cfg)
+	for _, win := range rep.Windows {
+		tr.ObserveWindow(win)
+	}
+	fmt.Fprintf(w, "Burst forecast — window %.3fs, %d windows\n",
+		rep.WindowEvery.Seconds(), len(rep.Windows))
+	fmt.Fprintf(w, "  %8s %14s %14s %10s %14s\n",
+		"window", "BPS(blk/s)", "forecast", "model", "baseline")
+	s := tr.SeriesByName("bps")
+	for _, pt := range s.Points() {
+		fmt.Fprintf(w, "  %8.3f %14.0f %14.0f %10s %14.0f\n",
+			rep.Windows[pt.Index].Start.Seconds(), pt.Observed, pt.Forecast,
+			pt.Model.String(), pt.Baseline)
+	}
+	alerts := tr.Alerts()
+	if len(alerts) == 0 {
+		fmt.Fprintf(w, "  no burst alerts\n")
+		return
+	}
+	fmt.Fprintf(w, "  alerts (k=%g×baseline):\n", cfgBurstK(cfg))
+	for _, a := range alerts {
+		fmt.Fprintf(w, "    window %4d %-5s %-9s value %.0f > limit %.0f\n",
+			a.Window, a.Series, a.Kind.String(), a.Value, a.Limit)
+	}
+}
+
+// cfgBurstK resolves the config's effective burst threshold.
+func cfgBurstK(cfg forecast.Config) float64 {
+	if cfg.BurstK <= 1 {
+		return 2.5
+	}
+	return cfg.BurstK
+}
+
+// WriteWindowsCSV exports a run's window series as CSV: one row per
+// window with its counts and completion-attributed rates. Zero-activity
+// and zero-busy windows export as plain zeros — the rate helpers never
+// produce NaN or Inf — so sparse series load cleanly anywhere.
+func WriteWindowsCSV(w io.Writer, rep *attrib.Report) error {
+	if rep == nil {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"start_s", "end_s", "ops", "blocks", "busy_s",
+		"bps", "bw_bytes_per_s", "iops", "arpt_s", "utilization",
+	}); err != nil {
+		return err
+	}
+	for _, win := range rep.Windows {
+		row := []string{
+			strconv.FormatFloat(win.Start.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(win.End.Seconds(), 'g', -1, 64),
+			strconv.FormatInt(win.Ops, 10),
+			strconv.FormatInt(win.Blocks, 10),
+			strconv.FormatFloat(win.Busy.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(win.BPS(), 'g', -1, 64),
+			strconv.FormatFloat(win.Bandwidth(), 'g', -1, 64),
+			strconv.FormatFloat(win.IOPS(), 'g', -1, 64),
+			strconv.FormatFloat(win.ARPT(), 'g', -1, 64),
+			strconv.FormatFloat(win.Utilization(), 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -205,6 +205,39 @@ func NewSharedFileEnv(e *sim.Engine, spec ClusterSpec, fileSize int64) (*workloa
 	}, nil
 }
 
+// NewFilesEnv builds a replay-style env with one preallocated file per
+// sizes entry, named prefix0, prefix1, ... — cluster specs stripe each
+// file with the default layout and get one client per file
+// (prefix.cn0, ...); local specs (Servers == 0) build a file system on
+// dev, which must be non-nil. Both trace replay paths (offset-less
+// records and ingested offset-aware logs) size their files through
+// this.
+func NewFilesEnv(e *sim.Engine, spec ClusterSpec, dev device.Device, prefix string, sizes []int64) (workload.Env, error) {
+	if spec.Servers > 0 {
+		cluster, _ := NewCluster(e, spec)
+		env := &workload.ClusterEnv{Cluster: cluster, Cache: ioreq.NewCache(spec.ClientCache)}
+		for i, size := range sizes {
+			f, err := cluster.Create(fmt.Sprintf("%s%d", prefix, i), size, cluster.DefaultLayout())
+			if err != nil {
+				return nil, err
+			}
+			env.Files = append(env.Files, f)
+			env.Clients = append(env.Clients, cluster.NewClient(fmt.Sprintf("%s.cn%d", prefix, i)))
+		}
+		return env, nil
+	}
+	fs := fsim.New(e, dev, fsim.Config{Name: prefix})
+	env := &workload.LocalEnv{FS: fs}
+	for i, size := range sizes {
+		f, err := fs.Create(fmt.Sprintf("%s%d", prefix, i), size)
+		if err != nil {
+			return nil, err
+		}
+		env.Files = append(env.Files, f)
+	}
+	return env, nil
+}
+
 // NewPinnedFilesEnv builds the paper's "pure" concurrency setup
 // (§IV.C.3): one file per client, pinned to server i mod Servers.
 func NewPinnedFilesEnv(e *sim.Engine, spec ClusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {

@@ -380,36 +380,43 @@ func ReplayTrace(cfg RunConfig, records []Record) (RunReport, error) {
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
+	fileSizes := make([]int64, len(pids))
+	for slot, pid := range pids {
+		fileSizes[slot] = sizes[pid]
+	}
+	return replayOn(cfg, w, fileSizes)
+}
+
+// ReplayAccesses re-issues an offset-aware access stream — typically
+// reconstructed from an ingested Darshan-style log (see ReadLog) —
+// against the configured storage stack. Unlike ReplayTrace, accesses
+// keep their recorded operations, offsets, and file separation: the env
+// gets one file per access slot, sized to the largest offset reached.
+func ReplayAccesses(cfg RunConfig, accs []workload.Access) (RunReport, error) {
+	if len(accs) == 0 {
+		return RunReport{}, fmt.Errorf("bps: empty access stream")
+	}
+	w := workload.ReplayIO{Label: "replay", Accesses: accs}
+	return replayOn(cfg, w, w.SlotExtents())
+}
+
+// replayOn builds a replay env with one file per fileSizes entry and
+// runs w on it.
+func replayOn(cfg RunConfig, w workload.Runner, fileSizes []int64) (RunReport, error) {
 	e := sim.NewEngine(cfg.Seed)
 	ob := attachObserver(e, cfg)
-	var env workload.Env
-	if cfg.Storage.Servers > 0 {
-		cluster, _ := testbed.NewCluster(e, testbed.ClusterSpec{
-			Servers: cfg.Storage.Servers,
-			Media:   cfg.Storage.Media,
-			Faults:  faultPlan(cfg),
-		})
-		cenv := &workload.ClusterEnv{Cluster: cluster}
-		for slot, pid := range pids {
-			f, err := cluster.Create(fmt.Sprintf("replay%d", slot), sizes[pid], cluster.DefaultLayout())
-			if err != nil {
-				return RunReport{}, fmt.Errorf("bps: replay: %w", err)
-			}
-			cenv.Files = append(cenv.Files, f)
-			cenv.Clients = append(cenv.Clients, cluster.NewClient(fmt.Sprintf("replay.cn%d", slot)))
-		}
-		env = cenv
-	} else {
-		fs := fsim.New(e, localDevice(e, cfg), fsim.Config{Name: "replay"})
-		lenv := &workload.LocalEnv{FS: fs}
-		for slot, pid := range pids {
-			f, err := fs.Create(fmt.Sprintf("replay%d", slot), sizes[pid])
-			if err != nil {
-				return RunReport{}, fmt.Errorf("bps: replay: %w", err)
-			}
-			lenv.Files = append(lenv.Files, f)
-		}
-		env = lenv
+	spec := testbed.ClusterSpec{
+		Servers: cfg.Storage.Servers,
+		Media:   cfg.Storage.Media,
+		Faults:  faultPlan(cfg),
+	}
+	var dev device.Device
+	if spec.Servers == 0 {
+		dev = localDevice(e, cfg)
+	}
+	env, err := testbed.NewFilesEnv(e, spec, dev, "replay", fileSizes)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bps: replay: %w", err)
 	}
 	res, err := w.Run(e, env)
 	if err != nil {
