@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache] [-scale 0.015625] [-seed 42] [-parallel N]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache|shardscale] [-scale 0.015625] [-seed 42] [-parallel N] [-shards N]
 //	bpsbench -faults [-fault-rates 0,0.004,0.016]
 //	bpsbench -fig clientcache
+//	bpsbench -fig shardscale
 //
 // The output for a CC figure is the per-run measurement table followed by
 // the normalized correlation coefficient of each metric against
@@ -33,10 +34,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, or clientcache")
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, clientcache, or shardscale")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
+	shards := flag.Int("shards", 0, "engine shard workers per run: 0 = classic single-calendar engine, N = sharded engine with N workers, -1 = GOMAXPROCS; the shardscale figure is always sharded and defaults to GOMAXPROCS")
 	quiet := flag.Bool("q", false, "suppress timing chatter")
 	asCSV := flag.Bool("csv", false, "emit per-run rows (and cc rows) as CSV instead of tables")
 	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
@@ -72,7 +74,10 @@ func main() {
 		*parallel = 1
 	}
 
-	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel, FaultRates: rates}
+	if *shards < 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel, FaultRates: rates, Shards: *shards}
 
 	if *seeds > 0 {
 		r, err := experiments.RunRobustness(params, *fig, *seeds)

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// shardWorkerCounts mirrors the sim/testbed helpers: worker counts
+// compared against a 1-worker run, overridable to one count via
+// BPS_TEST_SHARDS (CI's shard matrix).
+func shardWorkerCounts(t *testing.T) []int {
+	t.Helper()
+	if s := os.Getenv("BPS_TEST_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("BPS_TEST_SHARDS=%q: want a positive integer", s)
+		}
+		return []int{n}
+	}
+	return []int{2, 4, 8}
+}
+
+// shardedFig9 reproduces fig9 (the process-count sweep on the parallel
+// stack — the most contention-heavy paper figure) at tiny scale on a
+// sharded engine with the given worker count.
+func shardedFig9(t *testing.T, shards int) Figure {
+	t.Helper()
+	s := NewSuite(Params{Scale: 1.0 / 1024, Seed: 42, Parallel: 1, Shards: shards})
+	f, err := s.Figure("fig9")
+	if err != nil {
+		t.Fatalf("fig9 (shards=%d): %v", shards, err)
+	}
+	return f
+}
+
+// TestShardsParamWorkerInvariance pins the Params.Shards contract end
+// to end through the experiment runner: a whole reproduced figure —
+// every point's metrics and CC table — is bit-identical for every
+// shard-worker count.
+func TestShardsParamWorkerInvariance(t *testing.T) {
+	base := shardedFig9(t, 1)
+	if len(base.Points) == 0 {
+		t.Fatal("fig9 produced no points")
+	}
+	for _, pt := range base.Points {
+		if pt.Metrics.ExecTime <= 0 {
+			t.Fatalf("degenerate point %q: ExecTime %v", pt.Label, pt.Metrics.ExecTime)
+		}
+	}
+	for _, w := range shardWorkerCounts(t) {
+		got := shardedFig9(t, w)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("fig9 with shards=%d diverged from shards=1", w)
+		}
+	}
+}

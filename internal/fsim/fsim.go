@@ -6,6 +6,7 @@ package fsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"bps/internal/device"
@@ -83,6 +84,7 @@ type FileSystem struct {
 	files    map[string]*File
 	nextFree int64
 	cache    *ioreq.LRU[int64]
+	rng      *rand.Rand // latched at New from the construction-cursor domain
 
 	moved int64 // bytes actually transferred to/from the device
 
@@ -103,6 +105,7 @@ func New(e *sim.Engine, dev device.Device, cfg Config) *FileSystem {
 		dev:   dev,
 		cfg:   cfg,
 		files: make(map[string]*File),
+		rng:   e.Rand(),
 	}
 	if cfg.CacheBytes > 0 {
 		fs.cache = ioreq.NewLRU[int64](cfg.CacheBytes / cfg.BlockSize)
@@ -134,7 +137,7 @@ func (fs *FileSystem) Sync(p *sim.Proc) {
 	if fs.dirty == nil || len(fs.dirty) == 0 {
 		return
 	}
-	fut := fs.eng.NewFuture()
+	fut := p.NewFuture()
 	fs.syncWaiters = append(fs.syncWaiters, fut)
 	fs.forceFlush = true
 	if fs.flushTimer != nil && !fs.flushTimer.Done() {
@@ -156,9 +159,9 @@ func (fs *FileSystem) flusher(p *sim.Proc) {
 		}
 		if !fs.forceFlush {
 			// Interruptible lazy delay: Sync completes the timer early.
-			timer := fs.eng.NewFuture()
+			timer := p.NewFuture()
 			fs.flushTimer = timer
-			fs.eng.After(fs.cfg.FlushDelay, func() {
+			p.After(fs.cfg.FlushDelay, func() {
 				if !timer.Done() {
 					timer.Complete()
 				}
@@ -276,7 +279,7 @@ func (fs *FileSystem) Create(name string, size int64) (*File, error) {
 // aged allocator working around existing data.
 func (fs *FileSystem) allocateFragmented(alloc int64) []extent {
 	ext := roundUp(fs.cfg.FragmentExtent, fs.cfg.BlockSize)
-	rng := fs.eng.Rand()
+	rng := fs.rng
 	var extents []extent
 	var fileOff int64
 	for fileOff < alloc {

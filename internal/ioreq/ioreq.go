@@ -81,14 +81,23 @@ type Request struct {
 	Tags map[string]string
 }
 
-// New builds a request against file with a fresh engine-unique ID.
-func New(e *sim.Engine, op Op, off, size int64, file string) *Request {
+// IDSource allocates unique request identifiers. Both *sim.Engine and
+// *sim.Proc satisfy it; issuing layers should pass the proc so IDs come
+// from the proc's own domain namespace — in classic runs that is the
+// engine counter (byte-identical), in sharded runs it keeps allocation
+// race-free and independent of cross-domain interleaving.
+type IDSource interface {
+	NextRequestID() uint64
+}
+
+// New builds a request against file with a fresh unique ID.
+func New(ids IDSource, op Op, off, size int64, file string) *Request {
 	return &Request{
 		Op:     op,
 		Off:    off,
 		Size:   size,
 		PID:    -1,
-		ID:     e.NextRequestID(),
+		ID:     ids.NextRequestID(),
 		File:   file,
 		Stripe: -1,
 	}

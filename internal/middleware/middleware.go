@@ -72,7 +72,7 @@ func (t Target) Wrap(mws ...ioreq.Middleware) Target {
 // NewRequest allocates a request against this target's file with a
 // fresh engine-unique ID.
 func (t Target) NewRequest(p *sim.Proc, op ioreq.Op, off, size int64) *ioreq.Request {
-	return ioreq.New(p.Engine(), op, off, size, t.file)
+	return ioreq.New(p, op, off, size, t.file)
 }
 
 // Serve runs one request down the pipeline with the request installed

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // Registry holds a run's metrics, keyed by slash-separated names with
@@ -16,9 +17,12 @@ import (
 // and returns zero values, so uninstrumented code paths can hold nil
 // handles and call them unconditionally.
 //
-// The registry follows the simulation's single-threaded discipline: all
-// mutation happens in simulation context (the engine serializes it), and
-// reads happen either there or after Run has returned.
+// Metric handles are registered at construction time (single-threaded)
+// and thereafter only mutated through atomic operations, so instrumented
+// layers may update them from any domain of a sharded engine; reads are
+// likewise safe mid-run or after Run has returned. Registration itself
+// (Counter/Gauge/Histogram/Probe) keeps the single-threaded discipline:
+// call it at construction or from classic simulation context only.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -151,10 +155,11 @@ func sortedKeys(order []string) []string {
 	return out
 }
 
-// Counter is a monotonically increasing integer metric.
+// Counter is a monotonically increasing integer metric. Updates are
+// atomic, so counters may be bumped from any domain of a sharded run.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Name returns the counter's registered name ("" for nil).
@@ -170,7 +175,7 @@ func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
-	c.v += d
+	c.v.Add(d)
 }
 
 // Inc increments the counter by one.
@@ -181,13 +186,14 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a metric that can go up and down.
+// Gauge is a metric that can go up and down. Set/Value are atomic; Add
+// is a CAS loop (gauges are low-rate: probes and samplers).
 type Gauge struct {
 	name string
-	v    float64
+	v    atomic.Uint64 // float64 bits
 }
 
 // Name returns the gauge's registered name ("" for nil).
@@ -203,7 +209,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.v.Store(math.Float64bits(v))
 }
 
 // Add adjusts the gauge by d.
@@ -211,7 +217,12 @@ func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
 	}
-	g.v += d
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
@@ -219,7 +230,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.v.Load())
 }
 
 // HistBuckets is the number of histogram buckets: one underflow bucket
@@ -232,12 +243,15 @@ const HistBuckets = 64
 // v ∈ [2^(i−1), 2^i − 1]. Fixed boundaries keep observation O(1) with no
 // allocation and make histograms from different runs directly
 // comparable.
+// Updates are atomic so any domain of a sharded run may observe
+// samples; a mid-run reader may see count/sum/buckets mid-update
+// relative to each other, which the post-run reporting paths never do.
 type Histogram struct {
 	name    string
-	count   uint64
-	sum     int64
-	max     int64
-	buckets [HistBuckets]uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
 }
 
 // Name returns the histogram's registered name ("" for nil).
@@ -253,12 +267,15 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
 	}
-	h.buckets[bucketIndex(v)]++
+	h.buckets[bucketIndex(v)].Add(1)
 }
 
 // bucketIndex maps a sample to its bucket: 0 for v ≤ 0, otherwise the
@@ -292,7 +309,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all samples.
@@ -300,7 +317,7 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Max returns the largest sample observed (0 when empty).
@@ -308,22 +325,22 @@ func (h *Histogram) Max() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.max
+	return h.max.Load()
 }
 
 // Mean returns the arithmetic mean of the samples (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil || h.Count() == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(h.count)
+	return float64(h.Sum()) / float64(h.Count())
 }
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
 // upper bound of the first bucket whose cumulative count reaches
 // q·Count. Resolution is one power of two.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil || h.count == 0 {
+	if h == nil || h.Count() == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -331,22 +348,23 @@ func (h *Histogram) Quantile(q float64) int64 {
 	} else if q > 1 {
 		q = 1
 	}
-	target := uint64(math.Ceil(q * float64(h.count)))
+	max := h.max.Load()
+	target := uint64(math.Ceil(q * float64(h.Count())))
 	if target == 0 {
 		target = 1
 	}
 	var cum uint64
 	for i := 0; i < HistBuckets; i++ {
-		cum += h.buckets[i]
+		cum += h.buckets[i].Load()
 		if cum >= target {
 			_, hi := BucketBounds(i)
-			if hi > h.max && i > 0 {
-				return h.max
+			if hi > max && i > 0 {
+				return max
 			}
 			return hi
 		}
 	}
-	return h.max
+	return max
 }
 
 // Bucket is one non-empty histogram bucket.
@@ -361,7 +379,8 @@ func (h *Histogram) Buckets() []Bucket {
 		return nil
 	}
 	var out []Bucket
-	for i, c := range h.buckets {
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
 		if c == 0 {
 			continue
 		}

@@ -26,19 +26,29 @@ func (cl *Client) NIC() *netsim.NIC { return cl.nic }
 
 // Open looks a file up through the metadata server, paying the RPC
 // round trip and queueing behind other metadata operations — the
-// runtime equivalent of Cluster.Open.
+// runtime equivalent of Cluster.Open. On a classic engine the client
+// walks the MDS state inline; on a sharded engine the lookup travels as
+// a real RPC into the MDS domain's request queue and the reply
+// completes a future back in the client's domain.
 func (cl *Client) Open(p *sim.Proc, name string) (*File, error) {
 	c := cl.cluster
-	c.fabric.Transfer(p, cl.nic, c.mds.nic, c.cfg.RequestMsgBytes)
-	c.mds.svc.Acquire(p)
-	p.Sleep(c.cfg.MetadataService)
-	c.mds.ops++
-	c.mdsOps.Add(1)
-	c.mds.svc.Release()
-	f, err := c.Open(name)
-	// The reply travels back whether the lookup succeeded or not.
-	c.fabric.Transfer(p, c.mds.nic, cl.nic, c.cfg.RequestMsgBytes)
-	return f, err
+	if !c.eng.Sharded() {
+		c.fabric.Transfer(p, cl.nic, c.mds.nic, c.cfg.RequestMsgBytes)
+		c.mds.svc.Acquire(p)
+		p.Sleep(c.cfg.MetadataService)
+		c.mds.ops++
+		c.mdsOps.Add(1)
+		c.mds.svc.Release()
+		f, err := c.Open(name)
+		// The reply travels back whether the lookup succeeded or not.
+		c.fabric.Transfer(p, c.mds.nic, cl.nic, c.cfg.RequestMsgBytes)
+		return f, err
+	}
+	op := &mdsOp{cl: cl, name: name, done: p.NewFuture()}
+	mq := c.mds.queue
+	c.fabric.Send(p, cl.nic, c.mds.nic, c.cfg.RequestMsgBytes, func() { mq.Put(op) })
+	op.done.Wait(p)
+	return op.f, op.err
 }
 
 // ErrRPCTimeout reports that a server failed to reply within the
@@ -75,12 +85,12 @@ func (cl *Client) Layer(f *File) ioreq.Layer {
 // Read reads size bytes at global offset off, blocking the calling
 // process until every involved server has replied.
 func (cl *Client) Read(p *sim.Proc, f *File, off, size int64) error {
-	return cl.access(p, f, ioreq.New(cl.cluster.eng, ioreq.OpRead, off, size, f.name))
+	return cl.access(p, f, ioreq.New(p, ioreq.OpRead, off, size, f.name))
 }
 
 // Write writes size bytes at global offset off.
 func (cl *Client) Write(p *sim.Proc, f *File, off, size int64) error {
-	return cl.access(p, f, ioreq.New(cl.cluster.eng, ioreq.OpWrite, off, size, f.name))
+	return cl.access(p, f, ioreq.New(p, ioreq.OpWrite, off, size, f.name))
 }
 
 func (cl *Client) access(p *sim.Proc, f *File, req *ioreq.Request) error {
@@ -112,7 +122,7 @@ func (cl *Client) access(p *sim.Proc, f *File, req *ioreq.Request) error {
 				file:   f,
 				write:  write,
 				req:    jr,
-				done:   cl.cluster.eng.NewFuture(),
+				done:   p.NewFuture(),
 			}
 			perServer[ch.pos] = j
 			jobs = append(jobs, j)
@@ -160,8 +170,8 @@ func (cl *Client) accessDirect(p *sim.Proc, f *File, jobs []*job) error {
 		if j.write {
 			msg += j.bytes
 		}
-		fabric.Transfer(p, cl.nic, srv.nic, msg)
-		srv.queue.Put(j)
+		j, q := j, srv.queue
+		fabric.Send(p, cl.nic, srv.nic, msg, func() { q.Put(j) })
 	}
 	var errs []error
 	for _, j := range jobs {
@@ -181,13 +191,12 @@ func (cl *Client) accessRecovered(p *sim.Proc, f *File, jobs []*job) error {
 	if len(jobs) == 1 {
 		return cl.runRecovered(p, f, jobs[0])
 	}
-	e := cl.cluster.eng
-	wg := e.NewWaitGroup()
+	wg := p.NewWaitGroup()
 	errs := make([]error, len(jobs))
 	for i, j := range jobs {
 		i, j := i, j
 		wg.Add(1)
-		e.Spawn(fmt.Sprintf("%s.rpc%d", p.Name(), i), func(sub *sim.Proc) {
+		p.Spawn(fmt.Sprintf("%s.rpc%d", p.Name(), i), func(sub *sim.Proc) {
 			sub.SetCtx(j.req) // child procs inherit the request context
 			errs[i] = cl.runRecovered(sub, f, j)
 			wg.Done()
@@ -222,7 +231,15 @@ func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
 				bytes:   base.bytes,
 				replica: useReplica,
 				req:     base.req,
-				done:    c.eng.NewFuture(),
+				done:    p.NewFuture(),
+			}
+			if base.req != nil {
+				// Each retry carries its own request copy: the abandoned
+				// attempt's job may still be queued on a server (possibly in
+				// another domain), and stamping Attempt/Deadline on a shared
+				// struct would race with its late servicing.
+				r := *base.req
+				j.req = &r
 			}
 		}
 		if j.req != nil {
@@ -238,8 +255,8 @@ func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
 		if j.write {
 			msg += j.bytes
 		}
-		c.fabric.Transfer(p, cl.nic, srv.nic, msg)
-		srv.queue.Put(j)
+		jj, q := j, srv.queue
+		c.fabric.Send(p, cl.nic, srv.nic, msg, func() { q.Put(jj) })
 
 		replied := j.done.WaitTimeout(p, rc.Timeout)
 		switch {
@@ -269,7 +286,7 @@ func (cl *Client) runRecovered(p *sim.Proc, f *File, base *job) error {
 			}
 			rsp = c.o.Begin(p, "pfs", "retry", args)
 		}
-		jitter := sim.Time(c.eng.Rand().Int63n(int64(backoff/2) + 1))
+		jitter := sim.Time(p.Rand().Int63n(int64(backoff/2) + 1))
 		p.Sleep(backoff + jitter)
 		rsp.End()
 		backoff *= 2
@@ -326,15 +343,15 @@ func (s *Server) worker(p *sim.Proc) {
 				j.err = err
 			}
 		}
+		// Reads reply with the data; writes and failures ack only. The
+		// reply's delivery completes the job future in the client's domain.
+		reply := j.file.cluster.cfg.RequestMsgBytes
 		if !j.write && j.err == nil {
-			// Reply with the data.
-			j.file.cluster.fabric.Transfer(p, s.nic, j.client.nic, j.bytes+j.file.cluster.cfg.RequestMsgBytes)
-		} else {
-			// Ack only.
-			j.file.cluster.fabric.Transfer(p, s.nic, j.client.nic, j.file.cluster.cfg.RequestMsgBytes)
+			reply += j.bytes
 		}
+		done := j.done
+		j.file.cluster.fabric.Send(p, s.nic, j.client.nic, reply, func() { done.Complete() })
 		sp.End()
-		j.done.Complete()
 		p.SetCtx(nil)
 	}
 }

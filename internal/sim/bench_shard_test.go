@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// runShardMacro executes the shard-scaling macro workload once on a
+// sharded engine with the given worker count: ~10^5 processes spread
+// over shardMacroDomains domains, each domain a server-like unit whose
+// processes contend on a local service resource (the device-queue
+// pattern of a cluster run) and send one cross-domain mail at the end.
+// The event total is identical for every worker count — only the
+// wall-clock distribution across cores changes — so the w1/w2/w4/w8
+// ns/op ratios in BENCH_sim.json are the engine's shard-scaling curve.
+func runShardMacro(b *testing.B, workers int) {
+	const (
+		domains        = 128
+		procsPerDomain = 800 // 102,400 processes total
+		rounds         = 16
+		lookahead      = 100 * Microsecond
+	)
+	e := NewEngine(7)
+	e.EnableSharding(workers)
+	e.SetLookahead(lookahead)
+	doms := make([]int, domains)
+	for d := range doms {
+		doms[d] = e.NewDomain(fmt.Sprintf("d%d", d))
+	}
+	for di, dom := range doms {
+		prev := e.SetDomain(dom)
+		svc := e.NewResource(fmt.Sprintf("svc%d", di), 4)
+		next := doms[(di+1)%domains]
+		for j := 0; j < procsPerDomain; j++ {
+			j := j
+			e.Spawn("w", func(p *Proc) {
+				for k := 0; k < rounds; k++ {
+					svc.Acquire(p)
+					p.Sleep(Time(1+(j+k)%7) * Microsecond)
+					svc.Release()
+				}
+				if j == 0 {
+					p.Post(next, p.Now()+lookahead, func(Ctx) {})
+				}
+			})
+		}
+		e.SetDomain(prev)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+// BenchmarkShardScaling is the shard-scaling macro benchmark: the
+// 10^5-proc workload above at 1, 2, 4, and 8 shard workers. It runs
+// only when BPS_SHARD_BENCH is set (make bench sets it when recording
+// BENCH_sim.json): one pass takes seconds, which would dominate every
+// casual `go test -bench` / `make bench-all` sweep. To run it by hand:
+//
+//	BPS_SHARD_BENCH=1 go test -run '^$' -bench ShardScaling -benchtime=1x ./internal/sim
+//
+// Speedup is only observable with GOMAXPROCS ≥ the worker count; on a
+// single-core host every variant measures the same serialized work
+// plus window-synchronization overhead.
+func BenchmarkShardScaling(b *testing.B) {
+	if os.Getenv("BPS_SHARD_BENCH") == "" {
+		b.Skip("long macro benchmark: set BPS_SHARD_BENCH=1 (as make bench does); -benchtime=1x for a single pass")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runShardMacro(b, workers)
+			}
+		})
+	}
+}

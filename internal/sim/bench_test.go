@@ -56,6 +56,35 @@ func BenchmarkEngineCalendarDepth(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCalendarDepth100k is the same replace-the-minimum
+// pattern at 10^5 pending events — the calendar population a
+// shardscale-sized run keeps outstanding. It pins the deep-heap sift
+// cost that the 1024-deep benchmark above is too shallow to see;
+// benchguard guards it alongside the dispatch hot path.
+func BenchmarkEngineCalendarDepth100k(b *testing.B) {
+	const depth = 100_000
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(Time(depth)*Microsecond, step)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.At(Time(i)*Microsecond, step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n < b.N {
+		b.Fatalf("dispatched %d of %d events", n, b.N)
+	}
+}
+
 // BenchmarkProcSleep measures a full park/unpark round trip: the
 // channel handshake plus the wake event, which dominates every
 // device-service and think-time wait in a workload run.

@@ -1,14 +1,21 @@
 package sim
 
+import "math/rand"
+
 // Proc is a simulation process: a Go function running on its own goroutine
-// under the engine's strict alternation discipline. At any instant either
-// the engine or exactly one process is executing; control transfers happen
-// only at park points (Sleep, Future.Wait, Resource.Acquire, Queue ops).
+// under its domain's strict alternation discipline. At any instant either
+// the domain's dispatch loop or exactly one of its processes is executing;
+// control transfers happen only at park points (Sleep, Future.Wait,
+// Resource.Acquire, Queue ops). On a classic engine there is exactly one
+// domain, so this is the engine-wide single-runner guarantee; on a sharded
+// engine processes of different domains run concurrently but never touch
+// each other's state except through Proc.Post.
 //
 // A Proc must not be shared across goroutines and must only be used by the
 // body function it was created for.
 type Proc struct {
 	eng     *Engine
+	dom     *domain
 	name    string
 	resume  chan bool // true = killed by Shutdown
 	started bool
@@ -25,6 +32,10 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
+// DomainID returns the id of the domain the process belongs to (0 on a
+// classic engine).
+func (p *Proc) DomainID() int { return p.dom.id }
+
 // Ctx returns the process's current request context (nil when idle).
 // Layers install the in-flight request here so components lower in the
 // stack — and cross-cutting concerns like trace-span tagging — can see
@@ -37,19 +48,40 @@ func (p *Proc) Ctx() any { return p.ctx }
 // requests unwind correctly.
 func (p *Proc) SetCtx(v any) { p.ctx = v }
 
-// Now returns the current simulated time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the current simulated time of the process's domain.
+func (p *Proc) Now() Time { return p.dom.now }
 
-// Spawn creates a process that begins executing body at the current
-// simulated time (after already-scheduled events at that time). It may be
-// called before Run or from simulation context.
+// Rand returns the deterministic random source of the process's domain.
+// Runtime code must draw randomness through here (not Engine.Rand) so
+// that a domain's random stream stays independent of other domains.
+func (p *Proc) Rand() *rand.Rand { return p.dom.Rand() }
+
+// NextRequestID returns a fresh request identifier from the process's
+// domain (see Engine.NextRequestID).
+func (p *Proc) NextRequestID() uint64 { return p.dom.nextRequestID() }
+
+// NewFuture returns an incomplete Future bound to the process's domain.
+func (p *Proc) NewFuture() *Future { return &Future{dom: p.dom} }
+
+// Spawn creates a process in the caller's domain that begins executing
+// body at the caller's current simulated time. Runtime code must spawn
+// through here (not Engine.Spawn, whose cursor is a construction-time
+// concept).
+func (p *Proc) Spawn(name string, body func(*Proc)) *Proc {
+	return p.dom.spawn(p.dom.now, name, body, false)
+}
+
+// Spawn creates a process in the construction-cursor domain that begins
+// executing body at the current simulated time (after already-scheduled
+// events at that time). It may be called before Run or from simulation
+// context of that domain.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
-	return e.SpawnAt(e.now, name, body)
+	return e.cur.spawn(e.cur.now, name, body, false)
 }
 
 // SpawnAt creates a process that begins executing body at absolute time t.
 func (e *Engine) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
-	return e.spawn(t, name, body, false)
+	return e.cur.spawn(t, name, body, false)
 }
 
 // SpawnDaemon creates an infrastructure process (e.g. a server worker
@@ -57,68 +89,72 @@ func (e *Engine) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
 // excluded from deadlock detection. Its goroutine remains parked when the
 // simulation ends.
 func (e *Engine) SpawnDaemon(name string, body func(*Proc)) *Proc {
-	return e.spawn(e.now, name, body, true)
+	return e.cur.spawn(e.cur.now, name, body, true)
 }
 
-func (e *Engine) spawn(t Time, name string, body func(*Proc), daemon bool) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan bool)}
+func (d *domain) spawn(t Time, name string, body func(*Proc), daemon bool) *Proc {
+	e := d.eng
+	p := &Proc{eng: e, dom: d, name: name, resume: make(chan bool)}
 	if !daemon {
-		e.live[p] = struct{}{}
+		d.live[p] = struct{}{}
 	}
-	e.procs[p] = struct{}{}
-	e.At(t, func() {
+	d.procs[p] = struct{}{}
+	d.schedule(t, func() {
 		p.started = true
-		if e.tracer != nil {
-			e.tracer.ProcStarted(p)
+		if tr := e.tracer; tr != nil && !e.shardingOn {
+			tr.ProcStarted(p)
 		}
 		go func() {
 			defer func() {
 				// A Shutdown kill unwinds silently; real panics from the
 				// simulation program are trapped and re-raised on the
-				// engine goroutine inside Run.
+				// dispatching goroutine inside Run.
 				if r := recover(); r != nil {
 					if _, ok := r.(killed); !ok {
-						e.trap = r
+						d.trap = r
 					}
-				} else if e.tracer != nil {
-					// Safe: the engine is blocked on yield below, so the
-					// tracer still sees serialized calls.
-					e.tracer.ProcEnded(p)
+				} else if tr := e.tracer; tr != nil && !e.shardingOn {
+					// Safe: the dispatch loop is blocked on yield below, so
+					// the tracer still sees serialized calls.
+					tr.ProcEnded(p)
 				}
-				delete(e.live, p) // safe: engine is blocked on yield below
-				delete(e.procs, p)
-				e.yield <- struct{}{}
+				delete(d.live, p) // safe: dispatch loop is blocked on yield below
+				delete(d.procs, p)
+				d.yield <- struct{}{}
 			}()
 			body(p)
 		}()
-		e.waitYield()
-	})
+		d.waitYield()
+	}, false)
 	return p
 }
 
-// park suspends the calling process and returns control to the engine.
-// The process stays suspended until some event callback calls unpark, or
-// Engine.Shutdown kills it.
+// park suspends the calling process and returns control to its domain's
+// dispatch loop. The process stays suspended until some event callback
+// calls unpark, or Engine.Shutdown kills it.
 func (p *Proc) park() {
-	p.eng.yield <- struct{}{}
+	p.dom.yield <- struct{}{}
 	if <-p.resume {
 		panic(killed{})
 	}
 }
 
-// unpark transfers control from the engine to process p and blocks until p
-// parks again or terminates. It must be called only from an event callback
-// (engine context), never from another process.
-func (e *Engine) unpark(p *Proc) {
+// unpark transfers control from the dispatch loop to process p and blocks
+// until p parks again or terminates. It must be called only from an event
+// callback (dispatch context), never from another process.
+func (d *domain) unpark(p *Proc) {
 	p.resume <- false
-	e.waitYield()
+	d.waitYield()
 }
 
-// wake schedules p to be resumed at the current simulated time, preserving
-// FIFO order with other wakes. Safe to call from any simulation context.
-func (e *Engine) wake(p *Proc) {
-	e.scheduleWake(e.now, p, false)
-}
+// At schedules fn as a foreground event at absolute time t in p's
+// domain. It is the process-scoped counterpart of Engine.At: the event
+// runs on p's own calendar, so it is safe (and deterministic) in
+// sharded runs where the engine-level cursor is construction-only.
+func (p *Proc) At(t Time, fn func()) { p.dom.schedule(t, fn, false) }
+
+// After schedules fn d nanoseconds from now in p's domain (see At).
+func (p *Proc) After(d Time, fn func()) { p.dom.schedule(p.dom.now+d, fn, false) }
 
 // Sleep suspends the process for d simulated nanoseconds. Zero d yields to
 // other events scheduled at the current time.
@@ -126,15 +162,18 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	e := p.eng
-	e.scheduleWake(e.now+d, p, false)
+	dom := p.dom
+	dom.scheduleWake(dom.now+d, p, false)
 	p.park()
 }
 
-// Future is a one-shot completion that processes can wait on. The zero
-// value is usable once bound to an engine via NewFuture.
+// Future is a one-shot completion that processes can wait on. Construct
+// with Engine.NewFuture (construction-cursor domain) or Proc.NewFuture.
+// All parties to a future — completer and waiters — must belong to its
+// domain; cross-domain completion goes through Proc.Post to an event in
+// the waiter's domain.
 type Future struct {
-	eng     *Engine
+	dom     *domain
 	done    bool
 	when    Time
 	waiters []*Proc
@@ -146,8 +185,9 @@ type Future struct {
 	onComplete []func()
 }
 
-// NewFuture returns an incomplete Future.
-func (e *Engine) NewFuture() *Future { return &Future{eng: e} }
+// NewFuture returns an incomplete Future bound to the construction-cursor
+// domain.
+func (e *Engine) NewFuture() *Future { return &Future{dom: e.cur} }
 
 // Done reports whether the future has completed.
 func (f *Future) Done() bool { return f.done }
@@ -163,9 +203,9 @@ func (f *Future) Complete() {
 		panic("sim: Future completed twice")
 	}
 	f.done = true
-	f.when = f.eng.now
+	f.when = f.dom.now
 	for _, p := range f.waiters {
-		f.eng.wake(p)
+		p.dom.wake(p)
 	}
 	f.waiters = nil
 	for _, fn := range f.onComplete {
@@ -202,7 +242,7 @@ func (f *Future) WaitTimeout(p *Proc, d Time) bool {
 	if d < 0 {
 		panic("sim: negative timeout")
 	}
-	e := f.eng
+	dom := p.dom
 	// settled flips synchronously when completion or the timer fires
 	// first, so exactly one of them schedules the wake for p.
 	settled, completed := false, false
@@ -212,10 +252,10 @@ func (f *Future) WaitTimeout(p *Proc, d Time) bool {
 		}
 		settled = true
 		completed = ok
-		e.wake(p)
+		dom.wake(p)
 	}
 	f.onComplete = append(f.onComplete, func() { fire(true) })
-	e.At(e.now+d, func() { fire(false) })
+	dom.schedule(dom.now+d, func() { fire(false) }, false)
 	p.park()
 	return completed
 }
@@ -228,15 +268,18 @@ func WaitAll(p *Proc, fs ...*Future) {
 }
 
 // WaitGroup counts outstanding work items, like sync.WaitGroup but for
-// simulated processes.
+// simulated processes. As with Future, all parties must belong to one
+// domain.
 type WaitGroup struct {
-	eng     *Engine
 	n       int
 	waiters []*Proc
 }
 
 // NewWaitGroup returns a WaitGroup with a zero count.
-func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{eng: e} }
+func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{} }
+
+// NewWaitGroup returns a WaitGroup with a zero count.
+func (p *Proc) NewWaitGroup() *WaitGroup { return &WaitGroup{} }
 
 // Add increments the counter by k.
 func (w *WaitGroup) Add(k int) {
@@ -254,7 +297,7 @@ func (w *WaitGroup) Done() { w.Add(-1) }
 
 func (w *WaitGroup) release() {
 	for _, p := range w.waiters {
-		w.eng.wake(p)
+		p.dom.wake(p)
 	}
 	w.waiters = nil
 }

@@ -5,12 +5,23 @@ package sim
 // NIC. Waiters may request multiple units; admission is strictly in
 // arrival order — if the head waiter cannot be satisfied, later waiters
 // are not admitted ahead of it (no barging, no starvation).
+//
+// A resource belongs to the domain that was the construction cursor at
+// NewResource and must only be used from that domain's processes.
 type Resource struct {
 	eng   *Engine
+	dom   *domain
 	name  string
 	cap   int
 	inUse int
+
+	// queue[qhead:] holds the waiting requests. Popping advances qhead
+	// instead of re-slicing the front away, so the backing array keeps
+	// its full capacity and steady-state contention runs allocation-free;
+	// the array is compacted (not grown) when the tail hits capacity
+	// while dead space remains at the front.
 	queue []waitReq
+	qhead int
 
 	// Utilization accounting.
 	busySince Time // when inUse last went 0→nonzero
@@ -24,12 +35,13 @@ type waitReq struct {
 	since Time // when the request joined the queue
 }
 
-// NewResource returns a resource with the given capacity (≥ 1).
+// NewResource returns a resource with the given capacity (≥ 1), bound to
+// the construction-cursor domain.
 func (e *Engine) NewResource(name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{eng: e, name: name, cap: capacity}
+	return &Resource{eng: e, dom: e.cur, name: name, cap: capacity}
 }
 
 // Name returns the resource name.
@@ -42,7 +54,7 @@ func (r *Resource) Cap() int { return r.cap }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 // Acquires returns the total number of successful acquisitions.
 func (r *Resource) Acquires() uint64 { return r.acquires }
@@ -52,7 +64,7 @@ func (r *Resource) Acquires() uint64 { return r.acquires }
 func (r *Resource) BusyTime() Time {
 	t := r.busyTotal
 	if r.inUse > 0 {
-		t += r.eng.now - r.busySince
+		t += r.dom.now - r.busySince
 	}
 	return t
 }
@@ -72,6 +84,17 @@ func (r *Resource) Utilization(now Time) float64 {
 	return float64(busy) / float64(now)
 }
 
+// hooks returns the tracer to notify, or nil. Engine-level resource
+// hooks are a classic-mode feature: sharded domains dispatch
+// concurrently, so a shared tracer would race (the observability layer
+// keeps its own thread-safe counters for sharded runs).
+func (r *Resource) hooks() Tracer {
+	if t := r.eng.tracer; t != nil && !r.eng.shardingOn {
+		return t
+	}
+	return nil
+}
+
 // Acquire obtains one unit, suspending p in FIFO order if none is free.
 func (r *Resource) Acquire(p *Proc) { r.AcquireN(p, 1) }
 
@@ -81,19 +104,32 @@ func (r *Resource) AcquireN(p *Proc, n int) {
 	if n < 1 || n > r.cap {
 		panic("sim: AcquireN units out of range for resource " + r.name)
 	}
-	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+	if r.qhead == len(r.queue) && r.inUse+n <= r.cap {
 		r.grant(n)
-		if t := r.eng.tracer; t != nil {
+		if t := r.hooks(); t != nil {
 			t.ResourceAcquired(r, n, 0)
 		}
 		return
 	}
-	r.queue = append(r.queue, waitReq{p: p, n: n, since: r.eng.now})
-	if t := r.eng.tracer; t != nil {
+	if r.qhead > 0 && len(r.queue) == cap(r.queue) {
+		live := copy(r.queue, r.queue[r.qhead:])
+		clearTail(r.queue[live:])
+		r.queue = r.queue[:live]
+		r.qhead = 0
+	}
+	r.queue = append(r.queue, waitReq{p: p, n: n, since: r.dom.now})
+	if t := r.hooks(); t != nil {
 		t.ResourceQueued(r, p, n)
 	}
 	p.park()
 	// The releaser granted our units before waking us.
+}
+
+// clearTail zeroes dead queue slots so they do not pin procs for GC.
+func clearTail(dead []waitReq) {
+	for i := range dead {
+		dead[i] = waitReq{}
+	}
 }
 
 // TryAcquire obtains a unit without blocking; it reports whether it
@@ -106,9 +142,9 @@ func (r *Resource) TryAcquireN(n int) bool {
 	if n < 1 || n > r.cap {
 		panic("sim: TryAcquireN units out of range for resource " + r.name)
 	}
-	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+	if r.qhead == len(r.queue) && r.inUse+n <= r.cap {
 		r.grant(n)
-		if t := r.eng.tracer; t != nil {
+		if t := r.hooks(); t != nil {
 			t.ResourceAcquired(r, n, 0)
 		}
 		return true
@@ -118,7 +154,7 @@ func (r *Resource) TryAcquireN(n int) bool {
 
 func (r *Resource) grant(n int) {
 	if r.inUse == 0 {
-		r.busySince = r.eng.now
+		r.busySince = r.dom.now
 	}
 	r.inUse += n
 	r.acquires++
@@ -135,19 +171,24 @@ func (r *Resource) ReleaseN(n int) {
 	}
 	r.inUse -= n
 	if r.inUse == 0 {
-		r.busyTotal += r.eng.now - r.busySince
+		r.busyTotal += r.dom.now - r.busySince
 	}
-	if t := r.eng.tracer; t != nil {
+	if t := r.hooks(); t != nil {
 		t.ResourceReleased(r, n)
 	}
-	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
-		w := r.queue[0]
-		r.queue = r.queue[1:]
-		r.grant(w.n)
-		if t := r.eng.tracer; t != nil {
-			t.ResourceAcquired(r, w.n, r.eng.now-w.since)
+	for r.qhead < len(r.queue) && r.inUse+r.queue[r.qhead].n <= r.cap {
+		w := r.queue[r.qhead]
+		r.queue[r.qhead] = waitReq{}
+		r.qhead++
+		if r.qhead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qhead = 0
 		}
-		r.eng.wake(w.p)
+		r.grant(w.n)
+		if t := r.hooks(); t != nil {
+			t.ResourceAcquired(r, w.n, r.dom.now-w.since)
+		}
+		w.p.dom.wake(w.p)
 	}
 }
 
@@ -158,11 +199,13 @@ func (r *Resource) Use(p *Proc, fn func()) {
 	fn()
 }
 
-// Queue is an unbounded FIFO channel between simulation processes.
-// Put never blocks; Get suspends the caller until an item is available.
+// Queue is an unbounded FIFO channel between simulation processes of one
+// domain. Put never blocks; Get suspends the caller until an item is
+// available.
 type Queue struct {
 	eng     *Engine
 	items   []interface{}
+	ihead   int
 	waiters []*Proc
 	maxLen  int
 }
@@ -171,31 +214,44 @@ type Queue struct {
 func (e *Engine) NewQueue() *Queue { return &Queue{eng: e} }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.ihead }
 
 // MaxLen returns the high-water mark of the queue length.
 func (q *Queue) MaxLen() int { return q.maxLen }
 
 // Put appends an item and wakes one waiting getter, if any.
 func (q *Queue) Put(item interface{}) {
+	if q.ihead > 0 && len(q.items) == cap(q.items) {
+		live := copy(q.items, q.items[q.ihead:])
+		for i := live; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:live]
+		q.ihead = 0
+	}
 	q.items = append(q.items, item)
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if n := len(q.items) - q.ihead; n > q.maxLen {
+		q.maxLen = n
 	}
 	if len(q.waiters) > 0 {
 		p := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.eng.wake(p)
+		p.dom.wake(p)
 	}
 }
 
 // Get removes and returns the oldest item, suspending p until one exists.
 func (q *Queue) Get(p *Proc) interface{} {
-	for len(q.items) == 0 {
+	for q.ihead == len(q.items) {
 		q.waiters = append(q.waiters, p)
 		p.park()
 	}
-	item := q.items[0]
-	q.items = q.items[1:]
+	item := q.items[q.ihead]
+	q.items[q.ihead] = nil
+	q.ihead++
+	if q.ihead == len(q.items) {
+		q.items = q.items[:0]
+		q.ihead = 0
+	}
 	return item
 }

@@ -1,0 +1,78 @@
+package testbed
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"bps/internal/sim"
+	"bps/internal/workload"
+)
+
+// shardWorkerCounts returns the worker counts the invariance tests
+// compare against a 1-worker run: {2, 4, 8} by default, or the single
+// count in BPS_TEST_SHARDS (how CI's shard matrix pins one cell per
+// job).
+func shardWorkerCounts(t *testing.T) []int {
+	t.Helper()
+	if s := os.Getenv("BPS_TEST_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("BPS_TEST_SHARDS=%q: want a positive integer", s)
+		}
+		return []int{n}
+	}
+	return []int{2, 4, 8}
+}
+
+// runShardedSeq runs one small shared-file sequential-read cluster on a
+// sharded engine with the given worker count and returns its result.
+func runShardedSeq(t *testing.T, workers int, spec ClusterSpec) workload.Result {
+	t.Helper()
+	e := sim.NewEngine(42)
+	e.EnableSharding(workers)
+	defer e.Shutdown()
+	env, err := NewSharedFileEnv(e, spec, 1<<28)
+	if err != nil {
+		t.Fatalf("env: %v", err)
+	}
+	w := workload.SeqRead{
+		Label:           "shard",
+		Processes:       spec.Clients,
+		BytesPerProcess: 1 << 21,
+		RecordSize:      64 << 10,
+		StartOffset:     func(pid int) int64 { return int64(pid) << 21 },
+	}
+	res, err := w.Run(e, env)
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("workers=%d: %d access errors", workers, res.Errors)
+	}
+	return res
+}
+
+// TestShardedWorkerCountInvariant pins the tentpole guarantee: a sharded
+// run's result is bit-identical for every worker count, because event
+// order is a pure function of the domain topology, never of which worker
+// executes a domain's window.
+func TestShardedWorkerCountInvariant(t *testing.T) {
+	spec := ClusterSpec{Servers: 4, Media: SSD, Clients: 8}
+	base := runShardedSeq(t, 1, spec)
+	if base.ExecTime <= 0 {
+		t.Fatalf("degenerate run: ExecTime %v", base.ExecTime)
+	}
+	if base.Moved == 0 {
+		t.Fatalf("degenerate run: no bytes moved")
+	}
+	for _, k := range shardWorkerCounts(t) {
+		got := runShardedSeq(t, k, spec)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d diverged from workers=1:\n  base: ExecTime=%v Moved=%d records=%d\n  got:  ExecTime=%v Moved=%d records=%d",
+				k, base.ExecTime, base.Moved, len(base.Trace.Records()),
+				got.ExecTime, got.Moved, len(got.Trace.Records()))
+		}
+	}
+}

@@ -30,6 +30,24 @@ type Env interface {
 	Moved() int64
 }
 
+// DomainPlacer is implemented by envs that assign each process an
+// engine domain — sharded testbeds place every process in the domain
+// that owns its client's NIC, so all of the process's blocking
+// primitives stay domain-local. Envs without domains (and all classic
+// runs) simply don't implement it and every process spawns in the
+// default domain.
+type DomainPlacer interface {
+	DomainFor(pid int) int
+}
+
+// placeDomain returns the engine domain pid's process should spawn in.
+func placeDomain(env Env, pid int) int {
+	if dp, ok := env.(DomainPlacer); ok {
+		return dp.DomainFor(pid)
+	}
+	return 0
+}
+
 // LocalEnv is one local file system with one file per process (pid i uses
 // Files[i % len(Files)]).
 type LocalEnv struct {
@@ -57,6 +75,20 @@ type ClusterEnv struct {
 	// front of every target's pfs client (see ioreq.Cache). Nil leaves
 	// the pipeline exactly as before the cache existed.
 	Cache *ioreq.Cache
+
+	// Domains, when non-empty, is the engine domain of each client
+	// (parallel to Clients); sharded testbeds populate it so workloads
+	// spawn each process in its client's domain. Empty means the
+	// default domain for every process.
+	Domains []int
+}
+
+// DomainFor implements DomainPlacer: pid i runs in its client's domain.
+func (c *ClusterEnv) DomainFor(pid int) int {
+	if len(c.Domains) == 0 {
+		return 0
+	}
+	return c.Domains[pid%len(c.Domains)]
 }
 
 // Target implements Env.
@@ -105,7 +137,7 @@ type Pending struct {
 	collectors []*trace.Collector
 	errs       []int
 	startedAt  sim.Time
-	doneAt     *sim.Time
+	doneAts    []sim.Time // per-process completion times (sharding-safe)
 }
 
 // Result assembles the workload's measurements. Call it only after the
@@ -117,34 +149,45 @@ func (p *Pending) Result() Result {
 	for _, n := range p.errs {
 		nerr += n
 	}
+	doneAt := p.startedAt
+	for _, t := range p.doneAts {
+		if t > doneAt {
+			doneAt = t
+		}
+	}
 	return Result{
 		Label:    p.label,
-		ExecTime: *p.doneAt - p.startedAt,
+		ExecTime: doneAt - p.startedAt,
 		Trace:    trace.Gather(p.collectors...),
 		Moved:    p.env.Moved(),
 		Errors:   nerr,
 	}
 }
 
-// track wraps a process body so the pending records its last completion.
-func (p *Pending) track(body func(*sim.Proc)) func(*sim.Proc) {
+// track wraps process idx's body so the pending records its completion
+// time. Each process owns its slot, so tracking is race-free when
+// processes run in different domains; Result takes the max.
+func (p *Pending) track(idx int, body func(*sim.Proc)) func(*sim.Proc) {
 	return func(proc *sim.Proc) {
 		body(proc)
-		if proc.Now() > *p.doneAt {
-			*p.doneAt = proc.Now()
+		if proc.Now() > p.doneAts[idx] {
+			p.doneAts[idx] = proc.Now()
 		}
 	}
 }
 
 func newPending(e *sim.Engine, label string, env Env, procs int) *Pending {
-	done := e.Now()
+	done := make([]sim.Time, procs)
+	for i := range done {
+		done[i] = e.Now()
+	}
 	return &Pending{
 		label:      label,
 		env:        env,
 		collectors: make([]*trace.Collector, procs),
 		errs:       make([]int, procs),
 		startedAt:  e.Now(),
-		doneAt:     &done,
+		doneAts:    done,
 	}
 }
 
@@ -192,8 +235,9 @@ func (w SeqRead) Start(e *sim.Engine, env Env) (*Pending, error) {
 		if w.StartOffset != nil {
 			base = w.StartOffset(pid)
 		}
+		prev := e.SetDomain(placeDomain(env, pid))
 		target := env.Target(pid)
-		e.Spawn(fmt.Sprintf("%s.p%d", w.Label, pid), pend.track(func(p *sim.Proc) {
+		e.Spawn(fmt.Sprintf("%s.p%d", w.Label, pid), pend.track(pid, func(p *sim.Proc) {
 			read := accessorFor(target, col, w.UseMPIIO, w.Write)
 			for done := int64(0); done < w.BytesPerProcess; done += w.RecordSize {
 				n := w.RecordSize
@@ -208,6 +252,7 @@ func (w SeqRead) Start(e *sim.Engine, env Env) (*Pending, error) {
 				}
 			}
 		}))
+		e.SetDomain(prev)
 	}
 	return pend, nil
 }
@@ -313,8 +358,9 @@ func (w Noncontig) Start(e *sim.Engine, env Env) (*Pending, error) {
 		if w.BaseFor != nil {
 			base = w.BaseFor(pid)
 		}
+		prev := e.SetDomain(placeDomain(env, pid))
 		target := env.Target(pid)
-		e.Spawn(fmt.Sprintf("%s.p%d", w.Label, pid), pend.track(func(p *sim.Proc) {
+		e.Spawn(fmt.Sprintf("%s.p%d", w.Label, pid), pend.track(pid, func(p *sim.Proc) {
 			m := middleware.NewMPIIO(target, col, middleware.MPIIOConfig{
 				DataSieving:  w.Sieving,
 				SieveBufSize: w.SieveBufSize,
@@ -331,6 +377,7 @@ func (w Noncontig) Start(e *sim.Engine, env Env) (*Pending, error) {
 				}
 			}
 		}))
+		e.SetDomain(prev)
 	}
 	return pend, nil
 }
