@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live qos ci
 
 all: ci
 
@@ -36,7 +36,7 @@ cover:
 # and records them as test2json lines in BENCH_sim.json (the committed
 # perf baseline), then echoes the human-readable Benchmark lines.
 bench:
-	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... > BENCH_sim.json
+	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... ./internal/qos > BENCH_sim.json
 	@grep -o '"Output":"[^"]*"' BENCH_sim.json | sed -e 's/^"Output":"//' -e 's/"$$//' \
 		| tr -d '\n' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' | grep -E '^Benchmark.*ns/op'
 
@@ -50,7 +50,7 @@ bench-all:
 # bench-smoke runs each benchmark once — the CI guard that they compile
 # and execute.
 bench-smoke:
-	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/...
+	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/... ./internal/qos
 
 # bench-check is the bench-regression guard: rerun the engine
 # benchmarks and fail if the dispatch hot path regresses more than 20%
@@ -79,6 +79,41 @@ live:
 	echo "$$metrics" | grep -q '^bps_window_bps' || { echo "live: /metrics missing bps_window_bps"; exit 1; }; \
 	echo "$$windows" | grep -q '"windows":\[{' || { echo "live: /windows empty"; exit 1; }; \
 	echo "live smoke OK"
+
+# qos is the multi-tenant QoS smoke: start bpsd with the jobs API,
+# submit a protected tenant (unmeetable floor, so the controller must
+# act) plus an interfering one into one batch window, assert both
+# finish with the throttle activated and /healthz OK, then SIGTERM and
+# require a clean drain (exit 0).
+qos:
+	go build -o bpsd.smoke ./cmd/bpsd
+	./bpsd.smoke -addr 127.0.0.1:18098 -procs 2 -mb 8 -batch-wait 500ms & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18098/healthz >/dev/null 2>&1; then ok=0; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 0 ]; then echo "qos: bpsd never served"; kill $$pid; rm -f bpsd.smoke; exit 1; fi; \
+	curl -sf -X POST -d '{"tenant":"alpha","priority":1,"bps_floor":1e8,"procs":2,"mb":4}' http://127.0.0.1:18098/jobs >/dev/null \
+		|| { echo "qos: submitting alpha failed"; kill $$pid; rm -f bpsd.smoke; exit 1; }; \
+	curl -sf -X POST -d '{"tenant":"beta","procs":2,"mb":1,"record_bytes":4096}' http://127.0.0.1:18098/jobs >/dev/null \
+		|| { echo "qos: submitting beta failed"; kill $$pid; rm -f bpsd.smoke; exit 1; }; \
+	ok=1; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://127.0.0.1:18098/jobs/1 | grep -q '"state":"done"' \
+			&& curl -sf http://127.0.0.1:18098/jobs/2 | grep -q '"state":"done"'; then ok=0; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 0 ]; then echo "qos: jobs never finished"; kill $$pid; rm -f bpsd.smoke; exit 1; fi; \
+	qosrep=$$(curl -sf http://127.0.0.1:18098/qos); \
+	health=$$(curl -sf http://127.0.0.1:18098/healthz); \
+	echo "$$qosrep" | grep -q '"activations":[1-9]' || { echo "qos: throttle never activated: $$qosrep"; kill $$pid; rm -f bpsd.smoke; exit 1; }; \
+	echo "$$health" | grep -q '"status":"ok"' || { echo "qos: unhealthy: $$health"; kill $$pid; rm -f bpsd.smoke; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "qos: bpsd exited nonzero after SIGTERM"; rm -f bpsd.smoke; exit 1; }; \
+	rm -f bpsd.smoke; \
+	echo "qos smoke OK"
 
 # faults runs the FaultSweep smoke matrix: one healthy rate and one
 # degraded rate at tiny scale, enough to exercise injection at every
@@ -112,4 +147,4 @@ attrib:
 	@rm -f attrib_fig9.out
 	@echo "attrib golden OK"
 
-ci: vet staticcheck build race bench-smoke live
+ci: vet staticcheck build race bench-smoke live qos

@@ -8,13 +8,23 @@
 //	benchguard [-baseline BENCH_sim.json] [-fresh file.json] [-threshold 0.20] [-bench BenchmarkEngineEventDispatch]
 //
 // Without -fresh it runs the benchmarks itself (go test -json on
-// ./internal/sim/...) and writes their output to BENCH_new.json — never
-// to the baseline file, so the committed numbers stay the reference.
-// -bench may be repeated; the default guards the event-dispatch hot
-// path and the deep-calendar dispatch cost, since macro benchmarks are
-// too noisy for a shared runner. (The shard-scaling macro benchmark is
-// env-gated and absent from a fresh run — its numbers live in the
-// baseline for the record, not under the guard.)
+// ./internal/sim/... and ./internal/qos) and writes their output to
+// BENCH_new.json — never to the baseline file, so the committed numbers
+// stay the reference. -bench may be repeated; the default guards the
+// event-dispatch hot paths and the QoS admission middleware, since
+// macro benchmarks are too noisy for a shared runner. (The
+// shard-scaling macro benchmark is env-gated and absent from a fresh
+// run — its numbers live in the baseline for the record, not under the
+// guard.)
+//
+// -tolerances names a JSON override file so an individual benchmark can
+// carry a documented per-benchmark allowance instead of loosening the
+// global -threshold:
+//
+//	{"comment": "why", "tolerances": {"BenchmarkName": 0.35}}
+//
+// The default file (BENCH_tolerances.json) may be absent; a -tolerances
+// path given explicitly must exist.
 package main
 
 import (
@@ -80,7 +90,7 @@ func parseFile(path string) (map[string]float64, error) {
 // runFresh executes the benchmarks and tees the test2json stream to
 // out so a failing run leaves its evidence behind.
 func runFresh(out string) (map[string]float64, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...")
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...", "./internal/qos")
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -106,18 +116,99 @@ type benchList []string
 func (b *benchList) String() string     { return strings.Join(*b, ",") }
 func (b *benchList) Set(v string) error { *b = append(*b, v); return nil }
 
+// toleranceFile is the -tolerances schema: per-benchmark regression
+// allowances that override the global threshold, plus a free-form
+// comment documenting why each allowance exists.
+type toleranceFile struct {
+	Comment    string             `json:"comment"`
+	Tolerances map[string]float64 `json:"tolerances"`
+}
+
+// loadTolerances reads the override file. A missing file is fine when
+// the path is the default (the repo may simply have no overrides);
+// explicitly requested files must exist. Non-positive overrides are
+// rejected — a zero tolerance would fail on measurement noise.
+func loadTolerances(path string, explicit bool) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && !explicit {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var tf toleranceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for name, tol := range tf.Tolerances {
+		if tol <= 0 {
+			return nil, fmt.Errorf("%s: tolerance for %s is %g, must be positive", path, name, tol)
+		}
+	}
+	return tf.Tolerances, nil
+}
+
+// check compares fresh against base for every guarded benchmark and
+// reports to w; it returns true when any guard failed. tolerances
+// override threshold per benchmark.
+func check(w io.Writer, base, fresh map[string]float64, guarded []string, threshold float64, tolerances map[string]float64) bool {
+	failed := false
+	for _, name := range guarded {
+		b, ok := base[name]
+		if !ok || b <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline\n", name)
+			failed = true
+			continue
+		}
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from fresh run\n", name)
+			failed = true
+			continue
+		}
+		tol, note := threshold, ""
+		if override, ok := tolerances[name]; ok {
+			tol, note = override, fmt.Sprintf(" (tolerance %+.0f%%)", 100*override)
+		}
+		delta := (f - b) / b
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-32s baseline %10.2f ns/op   fresh %10.2f ns/op   %+6.1f%%   %s%s\n",
+			name, b, f, 100*delta, status, note)
+	}
+	return failed
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_sim.json", "committed test2json baseline")
 	freshPath := flag.String("fresh", "", "pre-recorded fresh run to compare (default: run benchmarks now)")
 	freshOut := flag.String("fresh-out", "BENCH_new.json", "where a live run records its test2json output")
 	threshold := flag.Float64("threshold", 0.20, "max tolerated ns/op regression (fraction)")
+	tolPath := flag.String("tolerances", "BENCH_tolerances.json", "per-benchmark tolerance override file (JSON)")
 	var guarded benchList
 	flag.Var(&guarded, "bench", "benchmark to guard (repeatable; default BenchmarkEngineEventDispatch)")
 	flag.Parse()
 	if len(guarded) == 0 {
-		guarded = benchList{"BenchmarkEngineEventDispatch", "BenchmarkEngineCalendarDepth100k"}
+		guarded = benchList{
+			"BenchmarkEngineEventDispatch", "BenchmarkEngineCalendarDepth100k",
+			"BenchmarkQoSServeDisabled", "BenchmarkQoSServeEnabled", "BenchmarkQoSAdmitThrottled",
+		}
 	}
+	tolExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tolerances" {
+			tolExplicit = true
+		}
+	})
 
+	tolerances, err := loadTolerances(*tolPath, tolExplicit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: tolerances: %v\n", err)
+		os.Exit(2)
+	}
 	base, err := parseFile(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
@@ -134,30 +225,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
-	for _, name := range guarded {
-		b, ok := base[name]
-		if !ok || b <= 0 {
-			fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", name, *baseline)
-			failed = true
-			continue
-		}
-		f, ok := fresh[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: %s missing from fresh run\n", name)
-			failed = true
-			continue
-		}
-		delta := (f - b) / b
-		status := "ok"
-		if delta > *threshold {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-32s baseline %10.2f ns/op   fresh %10.2f ns/op   %+6.1f%%   %s\n",
-			name, b, f, 100*delta, status)
-	}
-	if failed {
+	if check(os.Stdout, base, fresh, guarded, *threshold, tolerances) {
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL (threshold %+.0f%%)\n", 100**threshold)
 		os.Exit(1)
 	}

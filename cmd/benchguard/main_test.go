@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,5 +45,63 @@ func TestParseNsPerOpEmpty(t *testing.T) {
 	got, err := parseNsPerOp(strings.NewReader(""))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestLoadTolerances(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tol.json")
+	if err := os.WriteFile(path, []byte(`{"comment":"x","tolerances":{"BenchmarkA":0.35}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tol, err := loadTolerances(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol["BenchmarkA"] != 0.35 {
+		t.Fatalf("tolerances = %v", tol)
+	}
+
+	// The default path may be absent; an explicit one must exist.
+	if tol, err := loadTolerances(filepath.Join(dir, "missing.json"), false); err != nil || tol != nil {
+		t.Fatalf("missing default file: %v, %v", tol, err)
+	}
+	if _, err := loadTolerances(filepath.Join(dir, "missing.json"), true); err == nil {
+		t.Fatal("missing explicit file accepted")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"tolerances":{"BenchmarkA":0}}`), 0o644)
+	if _, err := loadTolerances(bad, true); err == nil {
+		t.Fatal("non-positive tolerance accepted")
+	}
+}
+
+func TestCheckToleranceOverride(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}
+	fresh := map[string]float64{"BenchmarkA": 130, "BenchmarkB": 130} // +30% both
+	guarded := []string{"BenchmarkA", "BenchmarkB"}
+
+	// Global threshold 0.20: both regress.
+	var out strings.Builder
+	if !check(&out, base, fresh, guarded, 0.20, nil) {
+		t.Fatal("30% regression passed the 20% threshold")
+	}
+	// An override on A alone lets it through while B still fails.
+	out.Reset()
+	if !check(&out, base, fresh, guarded, 0.20, map[string]float64{"BenchmarkA": 0.35}) {
+		t.Fatal("B's regression was swallowed by A's override")
+	}
+	if !strings.Contains(out.String(), "tolerance +35%") {
+		t.Fatalf("report does not show the override:\n%s", out.String())
+	}
+	// Overrides on both pass.
+	both := map[string]float64{"BenchmarkA": 0.35, "BenchmarkB": 0.35}
+	if check(io.Discard, base, fresh, guarded, 0.20, both) {
+		t.Fatal("overridden regressions still failed")
+	}
+	// Missing benchmarks fail regardless.
+	if !check(io.Discard, base, map[string]float64{}, guarded, 0.20, both) {
+		t.Fatal("missing fresh results passed")
 	}
 }

@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, clientcache, or shardscale")
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, clientcache, shardscale, or qos")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
@@ -243,6 +243,13 @@ func run(suite *experiments.Suite, fig string, quiet bool) error {
 			return err
 		}
 		report.WriteClientCacheFigure(out, f)
+		return nil
+	case experiments.QoSFigureID:
+		f, err := timed(suite, fig, quiet)
+		if err != nil {
+			return err
+		}
+		report.WriteQoSFigure(out, f)
 		return nil
 	default:
 		f, err := timed(suite, fig, quiet)

@@ -1,0 +1,456 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bps"
+	"bps/internal/experiments"
+	"bps/internal/obs/serve"
+)
+
+// Job states. A job is queued on POST, claimed into a batch by the
+// scheduler (running), and ends done, failed, or cancelled.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// jobSubmit is the POST /jobs body: the tenant's identity and service
+// contract plus its sequential workload. Zero workload fields inherit
+// the daemon's -procs/-mb/-record defaults.
+type jobSubmit struct {
+	Tenant      string  `json:"tenant"`
+	Priority    int     `json:"priority"`
+	BPSFloor    float64 `json:"bps_floor,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	MB          int64   `json:"mb,omitempty"`
+	RecordBytes int64   `json:"record_bytes,omitempty"`
+	Write       bool    `json:"write,omitempty"`
+}
+
+// jobResult is a finished job's measured outcome: the tenant's paper
+// metrics plus the controller's per-tenant QoS counters.
+type jobResult struct {
+	Blocks        int64   `json:"blocks"`
+	Ops           int64   `json:"ops"`
+	ExecS         float64 `json:"exec_s"`
+	BPS           float64 `json:"bps"`
+	IOPS          float64 `json:"iops"`
+	BandwidthMBps float64 `json:"bandwidth_mb_s"`
+	ARPTs         float64 `json:"arpt_s"`
+	Errors        int     `json:"errors"`
+	QoSDelayed    int64   `json:"qos_delayed"`
+	QoSShed       int64   `json:"qos_shed"`
+	QoSRisk       float64 `json:"qos_risk"`
+}
+
+// job is one submission's full lifecycle, as served by GET /jobs/{id}.
+type job struct {
+	ID int `json:"id"`
+	jobSubmit
+	State  string     `json:"state"`
+	Batch  int        `json:"batch,omitempty"` // 1-based batch index once scheduled
+	Error  string     `json:"error,omitempty"`
+	Result *jobResult `json:"result,omitempty"`
+}
+
+// jobManager owns the bounded submission queue and the batch scheduler.
+// Submissions arriving within one batch window run as tenants of a
+// single multi-tenant simulation — that is what makes them contend (and
+// the QoS controller arbitrate); lone submissions run solo.
+type jobManager struct {
+	opts    options
+	storage bps.Storage
+	observe func() *bps.ObserveOptions // fresh per batch (shares the publisher hook)
+	out     io.Writer
+
+	mu       sync.Mutex
+	jobs     map[int]*job
+	queue    []*job // queued jobs in arrival order
+	nextID   int
+	batches  int
+	running  int
+	done     int
+	failed   int
+	draining bool
+
+	lastReport *bps.QoSReport // most recent batch's controller report
+
+	wake chan struct{} // signals the scheduler: work or drain
+	idle chan struct{} // closed when the scheduler exits (drained)
+}
+
+func newJobManager(opts options, storage bps.Storage, observe func() *bps.ObserveOptions, out io.Writer) *jobManager {
+	return &jobManager{
+		opts:    opts,
+		storage: storage,
+		observe: observe,
+		out:     out,
+		jobs:    make(map[int]*job),
+		nextID:  1,
+		wake:    make(chan struct{}, 1),
+		idle:    make(chan struct{}),
+	}
+}
+
+// start launches the batch scheduler. Call it only once the daemon's
+// base run has finished: the publisher serves one run at a time, so
+// batches must not interleave with it.
+func (m *jobManager) start() { go m.loop() }
+
+// drain stops accepting submissions, lets the scheduler finish every
+// job already accepted, and waits up to grace for it to go idle. Jobs
+// still unfinished when grace expires are failed.
+func (m *jobManager) drain(grace time.Duration) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	m.signal()
+	select {
+	case <-m.idle:
+		return nil
+	case <-time.After(grace):
+		m.mu.Lock()
+		for _, j := range m.queue {
+			j.State = stateFailed
+			j.Error = "daemon shut down before the job ran"
+		}
+		n := len(m.queue) + m.running
+		m.queue = nil
+		m.mu.Unlock()
+		return fmt.Errorf("drain: %d jobs unfinished after %v grace", n, grace)
+	}
+}
+
+func (m *jobManager) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the scheduler: wait for work, hold the batch window open so
+// concurrent submissions coalesce into one multi-tenant run, execute,
+// repeat; exit when draining with nothing left.
+func (m *jobManager) loop() {
+	defer close(m.idle)
+	for {
+		m.mu.Lock()
+		empty, draining := len(m.queue) == 0, m.draining
+		m.mu.Unlock()
+		if empty {
+			if draining {
+				return
+			}
+			<-m.wake
+			continue
+		}
+		if m.opts.batchWait > 0 && !draining {
+			time.Sleep(m.opts.batchWait)
+		}
+		if batch := m.takeBatch(); len(batch) > 0 {
+			m.runBatch(batch)
+		}
+	}
+}
+
+// takeBatch claims queued jobs for the next run. Tenant names must be
+// unique within a run, so a second job for a tenant already in the
+// batch stays queued for the next one.
+func (m *jobManager) takeBatch() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var batch []*job
+	taken := make(map[string]bool)
+	var rest []*job
+	m.batches++
+	for _, j := range m.queue {
+		if taken[j.Tenant] {
+			rest = append(rest, j)
+			continue
+		}
+		taken[j.Tenant] = true
+		j.State = stateRunning
+		j.Batch = m.batches
+		batch = append(batch, j)
+	}
+	m.queue = rest
+	m.running += len(batch)
+	return batch
+}
+
+// runBatch executes one batch as a multi-tenant simulation under the
+// QoS controller. The engine seed derives from (daemon seed, batch
+// index), so a daemon restarted with the same seed and submission
+// sequence reproduces the same runs.
+func (m *jobManager) runBatch(batch []*job) {
+	specs := make([]bps.TenantSpec, len(batch))
+	for i, j := range batch {
+		specs[i] = bps.TenantSpec{
+			Tenant:          bps.QoSTenant{Name: j.Tenant, Priority: j.Priority, BPSFloor: j.BPSFloor},
+			Processes:       j.Procs,
+			BytesPerProcess: j.MB << 20,
+			RecordSize:      j.RecordBytes,
+			Write:           j.Write,
+		}
+	}
+	cfg := bps.RunConfig{
+		Storage: m.storage,
+		Seed:    experiments.DeriveSeed(m.opts.seed, "bpsd-jobs", strconv.Itoa(batch[0].Batch)),
+		Observe: m.observe(),
+	}
+	_, per, rep, err := bps.SimulateTenants(cfg, bps.QoSConfig{Enabled: true}, specs...)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running -= len(batch)
+	if err != nil {
+		m.failed += len(batch)
+		for _, j := range batch {
+			j.State = stateFailed
+			j.Error = err.Error()
+		}
+		fmt.Fprintf(m.out, "bpsd: batch %d (%d jobs) failed: %v\n", batch[0].Batch, len(batch), err)
+		return
+	}
+	m.done += len(batch)
+	for i, j := range batch {
+		res := &jobResult{
+			Blocks:        per[i].Metrics.Blocks,
+			Ops:           per[i].Metrics.Ops,
+			ExecS:         per[i].Metrics.ExecTime.Seconds(),
+			BPS:           per[i].Metrics.BPS(),
+			IOPS:          per[i].Metrics.IOPS(),
+			BandwidthMBps: per[i].Metrics.Bandwidth() / 1e6,
+			ARPTs:         per[i].Metrics.ARPT(),
+			Errors:        per[i].Errors,
+		}
+		for _, tr := range rep.Tenants {
+			if tr.Name == j.Tenant {
+				res.QoSDelayed = tr.Delayed
+				res.QoSShed = tr.Shed
+				res.QoSRisk = tr.Score.Risk
+			}
+		}
+		j.State = stateDone
+		j.Result = res
+	}
+	m.lastReport = rep
+	names := make([]string, len(batch))
+	for i, j := range batch {
+		names[i] = j.Tenant
+	}
+	fmt.Fprintf(m.out, "bpsd: batch %d done: tenants=%s activations=%d\n",
+		batch[0].Batch, strings.Join(names, ","), rep.Activations)
+}
+
+// --- HTTP handlers ---------------------------------------------------
+
+// mount registers the jobs API on mux (Go 1.22 method+wildcard
+// patterns).
+func (m *jobManager) mount(mux *http.ServeMux, pub *serve.Publisher) {
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", m.handleDelete)
+	mux.HandleFunc("GET /qos", m.handleQoS)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		m.handleHealthz(w, r, pub)
+	})
+}
+
+func (m *jobManager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var js jobSubmit
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&js); err != nil {
+		http.Error(w, "bad job body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if js.Procs == 0 {
+		js.Procs = m.opts.procs
+	}
+	if js.MB == 0 {
+		js.MB = m.opts.mb
+	}
+	if js.RecordBytes == 0 {
+		js.RecordBytes = m.opts.record
+	}
+	if err := validateSubmit(js); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		http.Error(w, "draining: no new jobs", http.StatusServiceUnavailable)
+		return
+	}
+	if len(m.queue) >= m.opts.maxJobs {
+		m.mu.Unlock()
+		// A queue slot frees when the next batch is claimed; the batch
+		// window is the honest earliest retry.
+		retry := int(m.opts.batchWait / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, fmt.Sprintf("job queue full (%d queued)", m.opts.maxJobs), http.StatusTooManyRequests)
+		return
+	}
+	j := &job{ID: m.nextID, jobSubmit: js, State: stateQueued}
+	m.nextID++
+	m.jobs[j.ID] = j
+	m.queue = append(m.queue, j)
+	resp := *j
+	m.mu.Unlock()
+	m.signal()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func validateSubmit(js jobSubmit) error {
+	switch {
+	case js.Tenant == "":
+		return fmt.Errorf("tenant is required")
+	case len(js.Tenant) > 64 || strings.ContainsAny(js.Tenant, " /\t\n"):
+		return fmt.Errorf("tenant must be ≤64 chars with no spaces or slashes")
+	case js.BPSFloor < 0:
+		return fmt.Errorf("bps_floor must be ≥ 0")
+	case js.Procs < 1 || js.Procs > 1024:
+		return fmt.Errorf("procs must be in [1, 1024]")
+	case js.MB < 1 || js.MB > 1<<20:
+		return fmt.Errorf("mb must be in [1, 1048576]")
+	case js.RecordBytes < 512 || js.RecordBytes > 1<<30:
+		return fmt.Errorf("record_bytes must be in [512, 1 GiB]")
+	}
+	return nil
+}
+
+// jobByID resolves the {id} path value; nil means the response is
+// already written.
+func (m *jobManager) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return nil
+	}
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return nil
+	}
+	return j
+}
+
+func (m *jobManager) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := m.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	m.mu.Lock()
+	resp := *j
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (m *jobManager) handleList(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	list := make([]job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		list = append(list, *j)
+	}
+	m.mu.Unlock()
+	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(list)
+}
+
+func (m *jobManager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	j := m.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.State != stateQueued {
+		http.Error(w, fmt.Sprintf("job is %s, only queued jobs can be cancelled", j.State), http.StatusConflict)
+		return
+	}
+	j.State = stateCancelled
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleQoS serves the most recent batch's full controller report:
+// per-tenant window series, throttle counters, interference scores.
+func (m *jobManager) handleQoS(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	rep := m.lastReport
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if rep == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	json.NewEncoder(w).Encode(rep)
+}
+
+// daemonHealth is bpsd's /healthz: the publisher's liveness and stream
+// backpressure view plus the job queue's state.
+type daemonHealth struct {
+	serve.Health
+	Jobs jobsHealth `json:"jobs"`
+}
+
+type jobsHealth struct {
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Done     int  `json:"done"`
+	Failed   int  `json:"failed"`
+	Batches  int  `json:"batches"`
+	MaxJobs  int  `json:"max_jobs"`
+	Draining bool `json:"draining"`
+}
+
+func (m *jobManager) handleHealthz(w http.ResponseWriter, r *http.Request, pub *serve.Publisher) {
+	m.mu.Lock()
+	h := daemonHealth{
+		Health: pub.Healthz(),
+		Jobs: jobsHealth{
+			Queued:   len(m.queue),
+			Running:  m.running,
+			Done:     m.done,
+			Failed:   m.failed,
+			Batches:  m.batches,
+			MaxJobs:  m.opts.maxJobs,
+			Draining: m.draining,
+		},
+	}
+	if m.draining {
+		h.Status = "draining"
+	}
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}

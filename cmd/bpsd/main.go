@@ -19,19 +19,39 @@
 // Usage:
 //
 //	bpsd [-addr :8090] [-stack hddx4] [-seed 1] [-window 0.01] [-sample 0.001]
-//	     [-pace 0] [-loop] [-burst-k 2.5] [-fault-rate 0] [LOGFILE...]
+//	     [-pace 0] [-loop] [-burst-k 2.5] [-fault-rate 0]
+//	     [-jobs] [-max-jobs 32] [-batch-wait 50ms] [-grace 10s] [LOGFILE...]
 //
 // With log file arguments the workload is an ingested replay (see the
 // README's ingestion format: CSV segment tables or JSONL); without, a
 // -procs × -mb sequential read. -loop reruns the workload forever, so
 // the endpoints stay live; otherwise bpsd serves the final state until
 // interrupted.
+//
+// With -jobs (the default) bpsd additionally accepts concurrent
+// workload submissions over HTTP once the base run finishes:
+//
+//	POST   /jobs      submit {"tenant","priority","bps_floor","procs","mb",...}
+//	GET    /jobs/{id} job state, metrics, and QoS outcome
+//	DELETE /jobs/{id} cancel a queued job
+//	GET    /qos       last batch's full QoS controller report
+//	GET    /healthz   liveness + queue depth + stream backpressure
+//
+// Submissions arriving within one -batch-wait window run together as
+// tenants of a single multi-tenant simulation under the QoS admission
+// controller (internal/qos): tenants with a bps_floor are protected,
+// lower-priority tenants are throttled or shed when the floor is
+// violated. The queue is bounded by -max-jobs; past it submissions get
+// 429 with Retry-After. SIGTERM drains accepted jobs within -grace,
+// then exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -59,14 +79,27 @@ func main() {
 	procs := flag.Int("procs", 4, "synthetic workload: process count (ignored with log files)")
 	mb := flag.Int64("mb", 64, "synthetic workload: MiB per process (ignored with log files)")
 	record := flag.Int64("record", 1<<20, "synthetic workload: record size in bytes (ignored with log files)")
+	jobs := flag.Bool("jobs", true, "serve the multi-tenant jobs API (POST /jobs) after the base run")
+	maxJobs := flag.Int("max-jobs", 32, "job queue bound; submissions past it get 429 + Retry-After")
+	batchWait := flag.Duration("batch-wait", 50*time.Millisecond, "window to coalesce concurrent submissions into one multi-tenant run")
+	grace := flag.Duration("grace", 10*time.Second, "SIGTERM drain deadline for accepted jobs")
 	flag.Parse()
 
-	if err := run(os.Stdout, flag.Args(), options{
+	opts := options{
 		addr: *addr, stack: *stack, seed: *seed,
 		window: *window, sample: *sample, pace: *pace, loop: *loop,
 		burstK: *burstK, faultRate: *faultRate,
 		procs: *procs, mb: *mb, record: *record,
-	}); err != nil {
+		jobs: *jobs, maxJobs: *maxJobs, batchWait: *batchWait, grace: *grace,
+	}
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validate(opts, flag.Args(), set); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsd:", err)
 		os.Exit(1)
 	}
@@ -85,6 +118,49 @@ type options struct {
 	procs     int
 	mb        int64
 	record    int64
+	jobs      bool
+	maxJobs   int
+	batchWait time.Duration
+	grace     time.Duration
+}
+
+// validate fails fast on bad or conflicting flags — with a usage
+// message, before the listener starts, instead of a panic mid-run. set
+// holds the flags the user passed explicitly, so "-pace 0" (explicitly
+// asking for zero pacing) is distinguishable from the default.
+func validate(opts options, logs []string, set map[string]bool) error {
+	if _, err := parseStack(opts.stack); err != nil {
+		return err
+	}
+	switch {
+	case opts.pace < 0, set["pace"] && opts.pace == 0:
+		return fmt.Errorf("-pace must be a positive duration (it is the wall-clock delay per sampler tick)")
+	case opts.loop && len(logs) > 0:
+		return fmt.Errorf("-loop conflicts with a finite log replay: every iteration replays the identical log; drop -loop or the log files")
+	case opts.loop && opts.jobs:
+		return fmt.Errorf("-loop conflicts with the jobs API (the publisher serves one run at a time); pass -jobs=false to loop")
+	case opts.window <= 0:
+		return fmt.Errorf("-window must be positive")
+	case opts.sample <= 0:
+		return fmt.Errorf("-sample must be positive")
+	case opts.burstK <= 0:
+		return fmt.Errorf("-burst-k must be positive")
+	case opts.faultRate < 0 || opts.faultRate > 1:
+		return fmt.Errorf("-fault-rate must be in [0, 1]")
+	case opts.procs < 1:
+		return fmt.Errorf("-procs must be at least 1")
+	case opts.mb < 1:
+		return fmt.Errorf("-mb must be at least 1")
+	case opts.record < 512:
+		return fmt.Errorf("-record must be at least one 512-byte block")
+	case opts.maxJobs < 1:
+		return fmt.Errorf("-max-jobs must be at least 1")
+	case opts.batchWait < 0:
+		return fmt.Errorf("-batch-wait must not be negative")
+	case opts.grace <= 0:
+		return fmt.Errorf("-grace must be positive")
+	}
+	return nil
 }
 
 func run(w io.Writer, logs []string, opts options) error {
@@ -105,12 +181,6 @@ func run(w io.Writer, logs []string, opts options) error {
 	}
 
 	pub := serve.NewPublisher(label, forecast.Config{BurstK: opts.burstK})
-	srv, err := serve.Start(opts.addr, pub)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	fmt.Fprintf(w, "bpsd: serving %s on http://%s (/metrics /windows /forecast /stream)\n", label, srv.Addr())
 
 	hook := pub.Hook()
 	tick := hook
@@ -120,15 +190,26 @@ func run(w io.Writer, logs []string, opts options) error {
 			time.Sleep(opts.pace)
 		}
 	}
-	cfg := bps.RunConfig{
-		Storage: storage,
-		Seed:    opts.seed,
-		Observe: &bps.ObserveOptions{
-			SampleEvery: sim.Time(opts.sample * float64(sim.Second)),
-			WindowEvery: sim.Time(opts.window * float64(sim.Second)),
-			Tick:        tick,
-		},
+	observe := &bps.ObserveOptions{
+		SampleEvery: sim.Time(opts.sample * float64(sim.Second)),
+		WindowEvery: sim.Time(opts.window * float64(sim.Second)),
+		Tick:        tick,
 	}
+	cfg := bps.RunConfig{Storage: storage, Seed: opts.seed, Observe: observe}
+
+	mux := http.NewServeMux()
+	var mgr *jobManager
+	if opts.jobs {
+		mgr = newJobManager(opts, storage, func() *bps.ObserveOptions { return observe }, w)
+		mgr.mount(mux, pub)
+	}
+	mux.Handle("/", pub.Handler())
+	srv, err := serve.StartHandler(opts.addr, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "bpsd: serving %s on http://%s (/metrics /windows /forecast /stream)\n", label, srv.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -159,8 +240,33 @@ func run(w io.Writer, logs []string, opts options) error {
 		// restarts its window feed on the first tick.
 	}
 
-	fmt.Fprintln(w, "bpsd: serving final state; interrupt to exit")
+	if mgr != nil {
+		// The publisher serves one run at a time, so job batches start
+		// only after the base run released it.
+		mgr.start()
+		fmt.Fprintln(w, "bpsd: jobs API live (POST /jobs); serving until interrupted")
+	} else {
+		fmt.Fprintln(w, "bpsd: serving final state; interrupt to exit")
+	}
 	<-stop
+
+	// Graceful drain: finish accepted jobs within the grace window, then
+	// shut the listener down. SSE streams never end on their own, so the
+	// HTTP shutdown gets a short deadline before the hard close.
+	fmt.Fprintln(w, "bpsd: draining")
+	var drainErr error
+	if mgr != nil {
+		drainErr = mgr.drain(opts.grace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(w, "bpsd: drained cleanly")
 	return nil
 }
 

@@ -203,9 +203,11 @@ func (s *Suite) Figure(id string) (Figure, error) {
 		return s.figClientCache()
 	case ShardScaleFigureID:
 		return s.figShardScale()
+	case QoSFigureID:
+		return s.figQoS()
 	default:
-		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, %q, %q, and %q)",
-			id, FigureIDs, ExtensionIDs, FaultFigureID, ClientCacheFigureID, ShardScaleFigureID)
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, %q, %q, %q, and %q)",
+			id, FigureIDs, ExtensionIDs, FaultFigureID, ClientCacheFigureID, ShardScaleFigureID, QoSFigureID)
 	}
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestQoSFigureStaysOutOfPaperOutputs(t *testing.T) {
+	for _, id := range FigureIDs {
+		if id == QoSFigureID {
+			t.Fatal("qos must not join the paper-reproduction figure list")
+		}
+	}
+	for _, id := range ExtensionIDs {
+		if id == QoSFigureID {
+			t.Fatal("qos must not join the extension figure list")
+		}
+	}
+}
+
+// TestQoSFigureTellsTheThrottleStory pins the figure's acceptance
+// thresholds: the interfering tenant degrades A's BPS by at least 20%,
+// and throttling B against A's floor restores A to within 10% of its
+// solo baseline while actually exercising the controller (activations,
+// delays or sheds, and an interference risk above 1 for B).
+func TestQoSFigureTellsTheThrottleStory(t *testing.T) {
+	s := NewSuite(Params{Scale: 1.0 / 64, Seed: 42})
+	f, err := s.Figure(QoSFigureID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 3 {
+		t.Fatalf("points = %d, want 3 (A-solo, A+B, A+B-throttled)", len(f.Points))
+	}
+	solo, mixed, throttled := f.Points[0], f.Points[1], f.Points[2]
+	if solo.Label != "A-solo" || mixed.Label != "A+B" || throttled.Label != "A+B-throttled" {
+		t.Fatalf("unexpected scenario labels: %q %q %q", solo.Label, mixed.Label, throttled.Label)
+	}
+	for _, pt := range f.Points {
+		if pt.Errors != 0 {
+			t.Fatalf("%s: %d errors in a healthy sweep", pt.Label, pt.Errors)
+		}
+	}
+	if solo.Aux["a_vs_solo"] != 1 {
+		t.Fatalf("solo a_vs_solo = %v, want 1", solo.Aux["a_vs_solo"])
+	}
+	if solo.Aux["a_floor"] <= 0 {
+		t.Fatalf("solo baseline produced no floor (a_floor = %v)", solo.Aux["a_floor"])
+	}
+	if r := mixed.Aux["a_vs_solo"]; r > 0.8 {
+		t.Fatalf("unthrottled interference degraded A to only %.0f%% of solo, want ≤ 80%%", 100*r)
+	}
+	if r := throttled.Aux["a_vs_solo"]; r < 0.9 {
+		t.Fatalf("throttling restored A to only %.0f%% of solo, want ≥ 90%%", 100*r)
+	}
+	if mixed.Aux["activations"] != 0 {
+		t.Fatalf("QoS-off run recorded %v activations", mixed.Aux["activations"])
+	}
+	if throttled.Aux["activations"] == 0 {
+		t.Fatal("throttled run never activated the controller")
+	}
+	if throttled.Aux["b_delayed"]+throttled.Aux["b_shed"] == 0 {
+		t.Fatal("throttled run neither delayed nor shed any of B's requests")
+	}
+	if risk := throttled.Aux["b_risk"]; risk <= 1 {
+		t.Fatalf("B's interference risk = %v, want > 1 (occupancy share above metric share)", risk)
+	}
+	if mixed.Aux["b_bps"] <= 0 {
+		t.Fatal("tenant B delivered nothing in the unthrottled mix")
+	}
+}
+
+// TestQoSParallelMatchesSequential pins the determinism contract: every
+// engine seed is a pure function of (Seed, figure, label), so fanning
+// the two mixed-tenant runs across workers cannot change a bit.
+func TestQoSParallelMatchesSequential(t *testing.T) {
+	run := func(parallel int) Figure {
+		s := NewSuite(Params{Scale: 1.0 / 64, Seed: 42, Parallel: parallel})
+		f, err := s.Figure(QoSFigureID)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return f
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		t.Errorf("points differ between parallel=1 and parallel=4:\nseq: %+v\npar: %+v", seq.Points, par.Points)
+	}
+}
+
+// TestQoSRepeatIsBitIdentical reruns the figure on a fresh suite with
+// the same seed and requires identical output, and checks a different
+// seed still tells the same qualitative story.
+func TestQoSRepeatIsBitIdentical(t *testing.T) {
+	run := func(seed int64) Figure {
+		s := NewSuite(Params{Scale: 1.0 / 64, Seed: seed})
+		f, err := s.Figure(QoSFigureID)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		return f
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different figures:\na: %+v\nb: %+v", a, b)
+	}
+	other := run(7)
+	if r := other.Points[2].Aux["a_vs_solo"]; r < 0.9 {
+		t.Errorf("seed 7: throttling restored A to only %.0f%% of solo", 100*r)
+	}
+}

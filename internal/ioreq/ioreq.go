@@ -77,6 +77,12 @@ type Request struct {
 	// the issuer abandons the current attempt.
 	Deadline sim.Time
 
+	// Tenant is the owning tenant's identifier in multi-tenant runs, ""
+	// for single-tenant workloads. The QoS admission layer stamps it at
+	// the top of the pipeline; Child keeps it, so every sub-request and
+	// span of a tenant's access carries the tenant identity end to end.
+	Tenant string
+
 	// Tags carries optional cross-layer annotations; nil until first use.
 	Tags map[string]string
 }
@@ -143,6 +149,12 @@ func (r *Request) Tag(k string) string { return r.Tags[k] }
 // a "req" argument to every span it opens — the thread that stitches
 // one logical access's spans across layers.
 func (r *Request) TraceID() uint64 { return r.ID }
+
+// TenantID is the multi-tenant observability hook, the tenant-identity
+// counterpart of TraceID: obs.Begin adds a "tenant" argument to spans
+// opened while a tenant-owned request is in flight. "" (single-tenant
+// workloads) adds nothing, keeping existing traces byte-identical.
+func (r *Request) TenantID() string { return r.Tenant }
 
 // Layer is one stage of the I/O path. Serve runs req to completion on
 // behalf of proc p, advancing simulated time as the modeled work

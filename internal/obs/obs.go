@@ -207,6 +207,14 @@ func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Spa
 			}
 			args["req"] = r.TraceID()
 		}
+		if t, ok := p.Ctx().(tenanted); ok {
+			if id := t.TenantID(); id != "" {
+				if args == nil {
+					args = make(map[string]any, 1)
+				}
+				args["tenant"] = id
+			}
+		}
 		sp.idx = o.buf.span(p, cat, name, o.eng.Now(), args)
 		sp.ok = true
 	}
@@ -227,6 +235,13 @@ func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Spa
 // on that proc carries a "req" argument with the request identifier, the
 // thread that stitches one logical access's spans across layers.
 type traceIDed interface{ TraceID() uint64 }
+
+// tenanted is the multi-tenant counterpart of traceIDed: requests that
+// carry a tenant identity (ioreq.Request does) stamp a "tenant"
+// argument on every span opened while they are in flight. Single-tenant
+// requests report "" and add nothing, keeping their traces byte-
+// identical to the pre-QoS output.
+type tenanted interface{ TenantID() string }
 
 // Counter emits a Chrome counter-track sample at the current simulated
 // time (distinct from Registry counters: this is a trace visualization).

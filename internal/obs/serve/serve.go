@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,6 +25,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bps/internal/obs"
 	"bps/internal/obs/attrib"
@@ -144,9 +147,25 @@ type Publisher struct {
 	mu   sync.RWMutex
 	snap *Snapshot
 
-	smu  sync.Mutex
-	subs map[chan event]bool
+	smu     sync.Mutex
+	subs    map[*subscriber]bool
+	dropped atomic.Int64 // events discarded on full subscriber buffers
 }
+
+// subscriber is one SSE consumer. missed counts consecutive events its
+// buffer had no room for; past DropLimit the broadcaster evicts it
+// (closes ch) rather than let an abandoned or glacial consumer force
+// unbounded skew between the stream and the run.
+type subscriber struct {
+	ch     chan event
+	missed int
+}
+
+// DropLimit is the number of consecutive missed events after which a
+// slow SSE subscriber is evicted. A healthy consumer that briefly
+// stalls resumes losslessly as long as its 256-event buffer holds; one
+// that stays stalled is disconnected and can re-sync from /windows.
+const DropLimit = 1024
 
 // NewPublisher returns a publisher for one labeled run. The forecast
 // config's zero value selects the documented defaults.
@@ -155,7 +174,7 @@ func NewPublisher(label string, fcfg forecast.Config) *Publisher {
 		label:   label,
 		fcfg:    fcfg,
 		tracker: forecast.NewTracker(fcfg),
-		subs:    make(map[chan event]bool),
+		subs:    make(map[*subscriber]bool),
 	}
 }
 
@@ -272,35 +291,59 @@ func (p *Publisher) Snapshot() *Snapshot {
 	return p.snap
 }
 
-// subscribe registers an SSE consumer channel.
-func (p *Publisher) subscribe() chan event {
-	ch := make(chan event, 256)
+// subscribe registers an SSE consumer.
+func (p *Publisher) subscribe() *subscriber {
+	s := &subscriber{ch: make(chan event, 256)}
 	p.smu.Lock()
-	p.subs[ch] = true
+	p.subs[s] = true
 	p.smu.Unlock()
-	return ch
+	return s
 }
 
-func (p *Publisher) unsubscribe(ch chan event) {
+func (p *Publisher) unsubscribe(s *subscriber) {
 	p.smu.Lock()
-	delete(p.subs, ch)
+	delete(p.subs, s)
 	p.smu.Unlock()
+}
+
+// Dropped returns the total SSE events discarded because a subscriber's
+// buffer was full — the backpressure signal surfaced on /metrics as
+// bps_stream_dropped_total and on /healthz.
+func (p *Publisher) Dropped() int64 { return p.dropped.Load() }
+
+// Subscribers returns the current SSE subscriber count.
+func (p *Publisher) Subscribers() int {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	return len(p.subs)
 }
 
 // broadcast fans events out to subscribers, never blocking the
-// simulation: a subscriber whose buffer is full misses events (it can
-// re-sync from /windows).
+// simulation: a subscriber whose buffer is full misses events (counted
+// in dropped; it can re-sync from /windows), and one that misses
+// DropLimit events in a row is evicted — its channel is closed, which
+// ends its handler.
 func (p *Publisher) broadcast(events []event) {
 	if len(events) == 0 {
 		return
 	}
 	p.smu.Lock()
 	defer p.smu.Unlock()
-	for ch := range p.subs {
+	for s := range p.subs {
 		for _, ev := range events {
 			select {
-			case ch <- ev:
+			case s.ch <- ev:
+				s.missed = 0
 			default:
+				s.missed++
+				p.dropped.Add(1)
+				if s.missed >= DropLimit {
+					delete(p.subs, s)
+					close(s.ch)
+				}
+			}
+			if !p.subs[s] {
+				break
 			}
 		}
 	}
@@ -316,8 +359,35 @@ func (p *Publisher) Handler() http.Handler {
 	mux.HandleFunc("/windows", p.handleWindows)
 	mux.HandleFunc("/forecast", p.handleForecast)
 	mux.HandleFunc("/stream", p.handleStream)
+	mux.HandleFunc("/healthz", p.handleHealthz)
 	mux.HandleFunc("/", p.handleIndex)
 	return mux
+}
+
+// Health is the /healthz payload: liveness plus the backpressure
+// signals an operator needs to judge whether streaming consumers are
+// keeping up.
+type Health struct {
+	Status        string  `json:"status"`
+	Label         string  `json:"label"`
+	NowS          float64 `json:"now_s"`
+	Closed        int     `json:"closed"`
+	Subscribers   int     `json:"subscribers"`
+	StreamDropped int64   `json:"stream_dropped"`
+}
+
+// Healthz returns the current health view (also served on /healthz).
+func (p *Publisher) Healthz() Health {
+	h := Health{Status: "ok", Label: p.label, Subscribers: p.Subscribers(), StreamDropped: p.Dropped()}
+	if s := p.Snapshot(); s != nil {
+		h.NowS, h.Closed = s.NowS, s.Closed
+	}
+	return h
+}
+
+func (p *Publisher) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p.Healthz())
 }
 
 func (p *Publisher) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -349,11 +419,15 @@ func promName(name string) string {
 func (p *Publisher) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s := p.Snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if s == nil {
+	if s != nil {
+		writeProm(w, s)
+	} else {
 		fmt.Fprintf(w, "# no snapshot published yet\n")
-		return
 	}
-	writeProm(w, s)
+	// Stream backpressure counters live HTTP-side, not in the snapshot:
+	// they move when consumers stall, even between sampler ticks.
+	fmt.Fprintf(w, "# TYPE bps_stream_dropped_total counter\nbps_stream_dropped_total %d\n", p.Dropped())
+	fmt.Fprintf(w, "# TYPE bps_stream_subscribers gauge\nbps_stream_subscribers %d\n", p.Subscribers())
 }
 
 // writeProm renders a snapshot in the Prometheus text exposition
@@ -437,8 +511,14 @@ func (p *Publisher) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
-	ch := p.subscribe()
-	defer p.unsubscribe(ch)
+	// The server's WriteTimeout protects request/response endpoints; an
+	// SSE stream is legitimately open for the whole run, so exempt this
+	// response from the deadline. Slow-consumer protection comes from
+	// the broadcaster's DropLimit eviction instead.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
+	sub := p.subscribe()
+	defer p.unsubscribe(sub)
 
 	if s := p.Snapshot(); s != nil {
 		if data, err := json.Marshal(s); err == nil {
@@ -450,10 +530,39 @@ func (p *Publisher) handleStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev := <-ch:
+		case ev, ok := <-sub.ch:
+			if !ok {
+				// Evicted by the broadcaster for falling DropLimit
+				// events behind; tell the client why before hanging up.
+				fmt.Fprintf(w, "event: evicted\ndata: {\"reason\":\"slow consumer\"}\n\n")
+				fl.Flush()
+				return
+			}
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, ev.data)
 			fl.Flush()
 		}
+	}
+}
+
+// Timeouts bounds every phase of an HTTP connection's life so a stalled
+// or malicious peer (slow-loris: a client that trickles header bytes
+// forever) cannot pin a connection goroutine indefinitely.
+type Timeouts struct {
+	ReadHeader time.Duration // request line + headers must arrive within this
+	Read       time.Duration // whole request (incl. body) must arrive within this
+	Write      time.Duration // response must be written within this (SSE exempts itself)
+	Idle       time.Duration // keep-alive connections idle longer than this are closed
+}
+
+// DefaultTimeouts is the hardened default for every bps HTTP server:
+// tight on headers (nothing legitimate takes 5 s to say GET), generous
+// on response writes, and bounded keep-alive.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       30 * time.Second,
+		Write:      60 * time.Second,
+		Idle:       120 * time.Second,
 	}
 }
 
@@ -464,13 +573,31 @@ type Server struct {
 }
 
 // Start listens on addr (":0" picks a free port) and serves the
-// publisher's handler until Close.
+// publisher's handler with DefaultTimeouts until Close or Shutdown.
 func Start(addr string, p *Publisher) (*Server, error) {
+	return StartHandler(addr, p.Handler())
+}
+
+// StartHandler is Start for an arbitrary handler (a daemon that mounts
+// extra endpoints next to the publisher's), with DefaultTimeouts.
+func StartHandler(addr string, h http.Handler) (*Server, error) {
+	return StartWith(addr, h, DefaultTimeouts())
+}
+
+// StartWith is StartHandler with explicit timeouts. A zero field leaves
+// that phase unbounded — only tests should want that.
+func StartWith(addr string, h http.Handler, t Timeouts) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: p.Handler()}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -478,5 +605,11 @@ func Start(addr string, p *Publisher) (*Server, error) {
 // Addr returns the bound address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping open connections.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains gracefully: stops accepting, waits for in-flight
+// requests (bounded by ctx), then closes. SSE streams never finish on
+// their own, so drain callers should cancel them (Close after the
+// deadline) — Shutdown returns ctx.Err() in that case.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

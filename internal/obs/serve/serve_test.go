@@ -2,13 +2,18 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"bps"
 	"bps/internal/obs/forecast"
@@ -265,5 +270,203 @@ func TestServerStartClose(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSlowLorisHeaderTimeout is the hardening regression: a client that
+// sends half a request and then goes silent must be disconnected by the
+// ReadHeader timeout, not allowed to pin a connection goroutine forever.
+func TestSlowLorisHeaderTimeout(t *testing.T) {
+	pub := NewPublisher("loris", forecast.Config{})
+	srv, err := StartWith("127.0.0.1:0", pub.Handler(), Timeouts{ReadHeader: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request: headers never finish (no terminating blank line).
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\nHost: bps\r\nX-Trickle: sl"); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The server must close the connection (plain close or a 408 first);
+	// our read deadline firing instead means it never did.
+	buf := make([]byte, 512)
+	for {
+		_, err := conn.Read(buf)
+		if err == nil {
+			continue // a 408 response body; keep reading until close
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("server left the slow-loris connection open past the header timeout")
+		}
+		return // EOF or reset: the server hung up, as required
+	}
+}
+
+// TestStreamBackpressure runs a fast and a slow SSE consumer against
+// one broadcaster concurrently: the fast consumer sees every event in
+// order, the slow one (which never reads) is evicted after DropLimit
+// misses, and the drops are counted for /metrics and /healthz.
+func TestStreamBackpressure(t *testing.T) {
+	p := NewPublisher("bp", forecast.Config{})
+	fast := p.subscribe()
+	slow := p.subscribe()
+	defer p.unsubscribe(fast)
+
+	const total = 2*DropLimit + 512 // enough to evict slow mid-run
+	var consumed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			ev, ok := <-fast.ch
+			if !ok {
+				t.Errorf("fast consumer evicted after %d events", i)
+				return
+			}
+			if want := fmt.Sprintf("%d", i); string(ev.data) != want {
+				t.Errorf("fast consumer saw %q at position %d, want %q", ev.data, i, want)
+				return
+			}
+			consumed.Add(1)
+		}
+	}()
+
+	// Broadcast in sub-buffer batches, letting the fast consumer drain
+	// between batches so only the slow consumer can ever miss.
+	const batch = 128
+	for n := 0; n < total; n += batch {
+		for i := n; i < n+batch && i < total; i++ {
+			p.broadcast([]event{{kind: "window", data: []byte(fmt.Sprintf("%d", i))}})
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for int(consumed.Load()) < min(n+batch, total) {
+			if time.Now().After(deadline) {
+				t.Fatalf("fast consumer stalled at %d/%d", consumed.Load(), total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	<-done
+
+	if got := p.Dropped(); got != DropLimit {
+		t.Errorf("dropped = %d, want exactly DropLimit=%d (eviction stops the bleeding)", got, DropLimit)
+	}
+	if got := p.Subscribers(); got != 1 {
+		t.Errorf("subscribers = %d after eviction, want 1 (fast only)", got)
+	}
+	// The slow consumer's channel holds its buffered prefix, then closes.
+	buffered := 0
+	for range slow.ch {
+		buffered++
+	}
+	if buffered != cap(slow.ch) {
+		t.Errorf("slow consumer drained %d buffered events, want %d", buffered, cap(slow.ch))
+	}
+}
+
+// TestStreamEviction drives the HTTP /stream handler end to end: a
+// consumer that stops reading is evicted and its response ends, while
+// the publisher keeps serving everyone else.
+func TestStreamEviction(t *testing.T) {
+	pub := NewPublisher("evict", forecast.Config{})
+	mustRun(t, pub.Hook())
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if line, err := br.ReadString('\n'); err != nil || strings.TrimSpace(line) != "event: snapshot" {
+		t.Fatalf("first SSE line %q (err %v), want snapshot event", line, err)
+	}
+
+	// Stop reading and flood: buffer (256) + DropLimit misses evict us.
+	for i := 0; i < 256+DropLimit+16; i++ {
+		pub.broadcast([]event{{kind: "window", data: []byte("{}")}})
+	}
+	// The handler drains the buffered prefix into the response, appends
+	// the eviction notice, and returns; the body must therefore end.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		t.Fatalf("reading post-eviction body: %v", err)
+	}
+	if !strings.Contains(string(body), "event: evicted") {
+		t.Error("evicted stream did not receive the eviction notice")
+	}
+	if pub.Dropped() < DropLimit {
+		t.Errorf("dropped = %d, want >= %d", pub.Dropped(), DropLimit)
+	}
+}
+
+// TestHealthzAndStreamMetrics checks the /healthz payload and the
+// backpressure counters on /metrics.
+func TestHealthzAndStreamMetrics(t *testing.T) {
+	pub := NewPublisher("health", forecast.Config{})
+	mustRun(t, pub.Hook())
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Label != "health" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.NowS <= 0 || h.Closed == 0 {
+		t.Fatalf("healthz shows no progress: %+v", h)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"bps_stream_dropped_total", "bps_stream_subscribers"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestServerShutdownDrains checks graceful drain: in-flight requests
+// finish, new connections are refused, Shutdown returns.
+func TestServerShutdownDrains(t *testing.T) {
+	pub := NewPublisher("drain", forecast.Config{})
+	mustRun(t, pub.Hook())
+	srv, err := StartHandler("127.0.0.1:0", pub.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }

@@ -1,0 +1,64 @@
+package qos
+
+import (
+	"testing"
+
+	"bps/internal/sim"
+)
+
+// benchServe measures the middleware's per-request cost over a nop
+// pipeline: the controller state is prepared by prep, then one proc
+// serves b.N requests.
+func benchServe(b *testing.B, cfg Config, prep func(*Controller)) {
+	c, err := NewController(cfg, Tenant{Name: "t"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if prep != nil {
+		prep(c)
+	}
+	layer := c.Middleware("t")(nopLayer{})
+	e := sim.NewEngine(1)
+	e.Spawn("bench", func(p *sim.Proc) {
+		req := newReq(p, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := layer.Serve(p, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQoSServeDisabled is the off-switch overhead: identity stamp
+// plus window accounting, no control law.
+func BenchmarkQoSServeDisabled(b *testing.B) {
+	benchServe(b, Config{}, nil)
+}
+
+// BenchmarkQoSServeEnabled is the enabled-but-unthrottled admission
+// path: inflight tracking, window accounting, control-law window
+// scanning.
+func BenchmarkQoSServeEnabled(b *testing.B) {
+	benchServe(b, Config{Enabled: true}, nil)
+}
+
+// BenchmarkQoSAdmitThrottled is the hot throttle path: the virtual-time
+// token bucket charging and sleeping every request, under a permanently
+// violated floor (the fake protected tenant always has work in flight),
+// so the limited regime never releases. MinRate is set high enough that
+// the simulated sleeps stay microseconds and ShedAfter high enough that
+// the bench never enters shed mode.
+func BenchmarkQoSAdmitThrottled(b *testing.B) {
+	benchServe(b, Config{Enabled: true, MinRate: 1e6, ShedAfter: 1 << 30}, func(c *Controller) {
+		st := c.byName["t"]
+		st.limited = true
+		st.creditAt = bucketFull
+		st.rate = 1e6
+		c.prot = &tenantState{t: Tenant{Name: "p", Priority: 9, BPSFloor: 1}, inflight: 1}
+	})
+}

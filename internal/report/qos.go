@@ -1,0 +1,33 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bps/internal/experiments"
+)
+
+// WriteQoSFigure renders the multi-tenant QoS scenario comparison. The
+// metric columns are tenant A's (the protected tenant the figure
+// plots); the trailing columns show A's BPS relative to its solo
+// baseline, tenant B's delivered BPS, the controller's throttle
+// counters, and B's LASSi-style interference risk.
+func WriteQoSFigure(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", f.Notes)
+	}
+	fmt.Fprintf(w, "  %-14s %10s %10s %8s %8s %14s %10s %9s %9s %9s %7s %11s\n",
+		f.XLabel, "exec(s)", "T(s)", "ops", "errors", "A-BPS(blk/s)", "A/solo",
+		"B-BPS", "B-delay", "B-shed", "B-risk", "activations")
+	for _, pt := range f.Points {
+		m := pt.Metrics
+		aux := func(k string) float64 { return pt.Aux[k] }
+		fmt.Fprintf(w, "  %-14s %10.4f %10.4f %8d %8d %14.0f %9.0f%% %9.0f %9.0f %9.0f %7.2f %11.0f\n",
+			pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops, pt.Errors,
+			m.BPS(), 100*aux("a_vs_solo"), aux("b_bps"), aux("b_delayed"),
+			aux("b_shed"), aux("b_risk"), aux("activations"))
+	}
+	fmt.Fprintln(w)
+}

@@ -53,12 +53,21 @@ func placeDomain(env Env, pid int) int {
 type LocalEnv struct {
 	FS    *fsim.FileSystem
 	Files []*fsim.File
+
+	// Wrap, when non-nil, is layered outermost in front of every target —
+	// the hook QoS admission control uses to throttle an env's requests
+	// before they enter the stack. Nil leaves the pipeline untouched.
+	Wrap ioreq.Middleware
 }
 
 // Target implements Env.
 func (l *LocalEnv) Target(pid int) middleware.Target {
 	f := l.Files[pid%len(l.Files)]
-	return middleware.NewTarget(f.Layer(), f.Name(), f.Size())
+	t := middleware.NewTarget(f.Layer(), f.Name(), f.Size())
+	if l.Wrap != nil {
+		t = t.Wrap(l.Wrap)
+	}
+	return t
 }
 
 // Moved implements Env.
@@ -75,6 +84,11 @@ type ClusterEnv struct {
 	// front of every target's pfs client (see ioreq.Cache). Nil leaves
 	// the pipeline exactly as before the cache existed.
 	Cache *ioreq.Cache
+
+	// Wrap, when non-nil, is layered outermost — in front of the cache,
+	// so QoS admission control sees the application's requests before
+	// any hit/miss splitting. Nil leaves the pipeline untouched.
+	Wrap ioreq.Middleware
 
 	// Domains, when non-empty, is the engine domain of each client
 	// (parallel to Clients); sharded testbeds populate it so workloads
@@ -98,6 +112,9 @@ func (c *ClusterEnv) Target(pid int) middleware.Target {
 	t := middleware.NewTarget(cl.Layer(f), f.Name(), f.Size())
 	if c.Cache != nil {
 		t = t.Wrap(c.Cache.Middleware(f.Size()))
+	}
+	if c.Wrap != nil {
+		t = t.Wrap(c.Wrap)
 	}
 	return t
 }
