@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live qos ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live qos livefs ci
 
 all: ci
 
@@ -36,7 +36,7 @@ cover:
 # and records them as test2json lines in BENCH_sim.json (the committed
 # perf baseline), then echoes the human-readable Benchmark lines.
 bench:
-	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... ./internal/qos > BENCH_sim.json
+	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... ./internal/qos ./cmd/bpsd > BENCH_sim.json
 	@grep -o '"Output":"[^"]*"' BENCH_sim.json | sed -e 's/^"Output":"//' -e 's/"$$//' \
 		| tr -d '\n' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' | grep -E '^Benchmark.*ns/op'
 
@@ -50,7 +50,7 @@ bench-all:
 # bench-smoke runs each benchmark once — the CI guard that they compile
 # and execute.
 bench-smoke:
-	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/... ./internal/qos
+	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/... ./internal/qos ./cmd/bpsd
 
 # bench-check is the bench-regression guard: rerun the engine
 # benchmarks and fail if the dispatch hot path regresses more than 20%
@@ -147,4 +147,27 @@ attrib:
 	@rm -f attrib_fig9.out
 	@echo "attrib golden OK"
 
-ci: vet staticcheck build race bench-smoke live qos
+# Live-backend smoke: the deterministic memfs record-size sweep must
+# match its golden byte for byte, and a real-filesystem run on a temp
+# directory must produce nonzero BPS and a well-formed windows CSV.
+# Regenerate the golden after an intended change:
+#   go run ./cmd/bpsbench -fig livemem -scale 0.002 -q > testdata/livemem.golden
+livefs:
+	go run ./cmd/bpsbench -fig livemem -scale 0.002 -q > livemem.out
+	diff testdata/livemem.golden livemem.out
+	@rm -f livemem.out
+	@echo "livemem golden OK"
+	dir=$$(mktemp -d) && \
+	go run ./cmd/bpsbench -backend os -dir $$dir -wall \
+		-live-procs 2 -live-mb 4 -live-record 65536 \
+		-windows-out $$dir/windows.csv > livefs.out 2>/dev/null && \
+	grep -q 'BPS: *[1-9]' livefs.out \
+		|| { echo "livefs: osfs run reported no BPS"; cat livefs.out; rm -rf $$dir livefs.out; exit 1; }; \
+	head -1 $$dir/windows.csv | grep -q '^start_s,end_s,ops,blocks,busy_s,bps,bw_bytes_per_s,iops,arpt_s,utilization$$' \
+		|| { echo "livefs: malformed windows CSV"; head -3 $$dir/windows.csv; rm -rf $$dir livefs.out; exit 1; }; \
+	test $$(wc -l < $$dir/windows.csv) -gt 1 \
+		|| { echo "livefs: windows CSV has no rows"; rm -rf $$dir livefs.out; exit 1; }; \
+	rm -rf $$dir livefs.out
+	@echo "livefs osfs smoke OK"
+
+ci: vet staticcheck build race bench-smoke live qos livefs

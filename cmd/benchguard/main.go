@@ -8,11 +8,12 @@
 //	benchguard [-baseline BENCH_sim.json] [-fresh file.json] [-threshold 0.20] [-bench BenchmarkEngineEventDispatch]
 //
 // Without -fresh it runs the benchmarks itself (go test -json on
-// ./internal/sim/... and ./internal/qos) and writes their output to
-// BENCH_new.json — never to the baseline file, so the committed numbers
-// stay the reference. -bench may be repeated; the default guards the
-// event-dispatch hot paths and the QoS admission middleware, since
-// macro benchmarks are too noisy for a shared runner. (The
+// ./internal/sim/..., ./internal/qos, and ./cmd/bpsd) and writes their
+// output to BENCH_new.json — never to the baseline file, so the
+// committed numbers stay the reference. -bench may be repeated; the
+// default guards the event-dispatch hot paths, the QoS admission
+// middleware, and the bpsd job-submit handler, since macro benchmarks
+// are too noisy for a shared runner. (The
 // shard-scaling macro benchmark is env-gated and absent from a fresh
 // run — its numbers live in the baseline for the record, not under the
 // guard.)
@@ -90,7 +91,7 @@ func parseFile(path string) (map[string]float64, error) {
 // runFresh executes the benchmarks and tees the test2json stream to
 // out so a failing run leaves its evidence behind.
 func runFresh(out string) (map[string]float64, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...", "./internal/qos")
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...", "./internal/qos", "./cmd/bpsd")
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -195,6 +196,7 @@ func main() {
 		guarded = benchList{
 			"BenchmarkEngineEventDispatch", "BenchmarkEngineCalendarDepth100k",
 			"BenchmarkQoSServeDisabled", "BenchmarkQoSServeEnabled", "BenchmarkQoSAdmitThrottled",
+			"BenchmarkJobsSubmit",
 		}
 	}
 	tolExplicit := false

@@ -1,18 +1,27 @@
 // Command bpsbench regenerates the BPS paper's evaluation: every table
 // and figure of §IV, at a configurable fraction of the paper's data
-// volume.
+// volume — and, with -backend os|mem, measures a real or in-memory
+// filesystem through the same metric stack instead of simulating one.
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache|shardscale] [-scale 0.015625] [-seed 42] [-parallel N] [-shards N]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache|shardscale|qos|livemem] [-scale 0.015625] [-seed 42] [-parallel N] [-shards N]
 //	bpsbench -faults [-fault-rates 0,0.004,0.016]
 //	bpsbench -fig clientcache
-//	bpsbench -fig shardscale
+//	bpsbench -fig livemem
+//	bpsbench -backend mem [-live-procs 4] [-live-mb 64] [-live-record 1048576]
+//	bpsbench -backend os -dir /data/bench -wall [-direct] [-windows 0.01] [-windows-out w.csv]
 //
 // The output for a CC figure is the per-run measurement table followed by
 // the normalized correlation coefficient of each metric against
 // application execution time — the figure's bar values. Detail figures
 // print the metric/execution-time series the paper plots.
+//
+// Live backends: -backend mem measures the in-memory filesystem (a
+// deterministic virtual-clock run unless -wall), -backend os measures
+// the real directory tree under -dir (use iogen -layout to pre-build
+// one). Each recorded process becomes a concurrent worker goroutine;
+// the run reports the same BPS/IOPS/BW/ARPT surfaces a simulation does.
 package main
 
 import (
@@ -25,12 +34,16 @@ import (
 	"strings"
 	"time"
 
+	"bps/internal/backend"
+	"bps/internal/clock"
 	"bps/internal/experiments"
+	"bps/internal/live"
 	"bps/internal/obs"
 	"bps/internal/obs/forecast"
 	"bps/internal/obs/serve"
 	"bps/internal/report"
 	"bps/internal/sim"
+	"bps/internal/workload"
 )
 
 func main() {
@@ -50,6 +63,14 @@ func main() {
 	windows := flag.Float64("windows", 0, "streaming windowed estimator width in seconds (0 = off); prints the per-window BPS/IOPS/BW/ARPT series")
 	serveAddr := flag.String("serve", "", "serve live observability on this address while runs execute (/metrics /windows /forecast /stream); forces -parallel 1 and defaults -windows to 0.01")
 	forecastOut := flag.Bool("forecast", false, "run the online burst forecaster over the last run's window series and print per-window forecasts and alerts (needs -windows)")
+	windowsOut := flag.String("windows-out", "", "write the run's window series as CSV here (needs -windows, or a live -backend where it is on by default)")
+	backendName := flag.String("backend", "sim", "what serves the I/O: sim (reproduce figures), os (measure the real directory under -dir), mem (measure the in-memory filesystem)")
+	dir := flag.String("dir", "", "directory tree to measure with -backend os")
+	direct := flag.Bool("direct", false, "open data files with O_DIRECT on -backend os (Linux; bypasses the page cache)")
+	wallClock := flag.Bool("wall", false, "live backends: time with the wall clock (real measurement) instead of deterministic per-worker virtual lanes")
+	liveProcs := flag.Int("live-procs", 4, "live backends: concurrent worker processes")
+	liveMB := flag.Int64("live-mb", 64, "live backends: MiB each worker reads from its slot file")
+	liveRecord := flag.Int64("live-record", 1<<20, "live backends: bytes per access")
 	flag.Parse()
 
 	if *faultsFig {
@@ -58,6 +79,38 @@ func main() {
 	rates, err := parseRates(*faultRates)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench: -fault-rates:", err)
+		os.Exit(1)
+	}
+
+	switch *backendName {
+	case "sim":
+		// The simulated reproduction below.
+	case "os", "mem":
+		err := runLive(os.Stdout, liveOpts{
+			backend:    *backendName,
+			dir:        *dir,
+			direct:     *direct,
+			wall:       *wallClock,
+			procs:      *liveProcs,
+			perProcMB:  *liveMB,
+			record:     *liveRecord,
+			seed:       *seed,
+			windows:    *windows,
+			windowsOut: *windowsOut,
+			serveAddr:  *serveAddr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpsbench:", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bpsbench: unknown -backend %q (sim, os, mem)\n", *backendName)
+		os.Exit(1)
+	}
+
+	if *windowsOut != "" && *windows == 0 {
+		fmt.Fprintln(os.Stderr, "bpsbench: -windows-out needs -windows (no window series without the streaming estimator)")
 		os.Exit(1)
 	}
 
@@ -117,12 +170,128 @@ func main() {
 		err = run(suite, *fig, *quiet)
 	}
 	if err == nil {
-		err = writeObservation(suite, *traceOut, *metricsOut, *attribOut, *windows > 0, *forecastOut)
+		err = writeObservation(suite, *traceOut, *metricsOut, *attribOut, *windowsOut, *windows > 0, *forecastOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// liveOpts collects the -backend os|mem knobs.
+type liveOpts struct {
+	backend    string
+	dir        string
+	direct     bool
+	wall       bool
+	procs      int
+	perProcMB  int64
+	record     int64
+	seed       int64
+	windows    float64
+	windowsOut string
+	serveAddr  string
+}
+
+// liveAccesses builds the live workload: each process sequentially
+// reads its own slot file in record-size chunks, back to back.
+func liveAccesses(procs int, perProc, record int64) []workload.Access {
+	var accs []workload.Access
+	for pid := 0; pid < procs; pid++ {
+		for off := int64(0); off < perProc; off += record {
+			n := record
+			if off+n > perProc {
+				n = perProc - off
+			}
+			accs = append(accs, workload.Access{
+				PID: int64(pid), Slot: pid, Off: off, Size: n,
+			})
+		}
+	}
+	return accs
+}
+
+// runLive measures a real backend: the -backend os|mem path. The same
+// middleware chain and metric stack as a simulation, but served by
+// concurrent goroutines against an actual filesystem.
+func runLive(w io.Writer, o liveOpts) error {
+	if o.procs < 1 || o.perProcMB < 1 || o.record < 1 {
+		return fmt.Errorf("-live-procs, -live-mb and -live-record must be positive")
+	}
+	var fsys backend.FS
+	switch o.backend {
+	case "mem":
+		fsys = backend.NewMemFS()
+	case "os":
+		if o.dir == "" {
+			return fmt.Errorf("-backend os needs -dir (the directory tree to measure)")
+		}
+		if err := os.MkdirAll(o.dir, 0o755); err != nil {
+			return err
+		}
+		fsys = backend.NewOSFS(o.dir, o.direct)
+	}
+	mode := live.Virtual
+	if o.wall {
+		mode = live.Wall
+	}
+	cfg := live.Config{
+		FS:          fsys,
+		Mode:        mode,
+		Cost:        clock.CostModel{PerOp: 100 * sim.Microsecond, BytesPerSec: 200e6},
+		WindowEvery: sim.Time(o.windows * float64(sim.Second)),
+		Seed:        o.seed,
+		Label:       "bpsbench -backend " + o.backend,
+	}
+	if o.serveAddr != "" {
+		pub := serve.NewPublisher(cfg.Label, forecast.Config{})
+		srv, err := serve.Start(o.serveAddr, pub)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[serving live observability on http://%s]\n", srv.Addr())
+		cfg.Publish = func(now sim.Time, src live.Source) { pub.Publish(now, src) }
+	}
+
+	accs := liveAccesses(o.procs, o.perProcMB<<20, o.record)
+	t0 := time.Now()
+	rep, err := live.Run(cfg, accs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[measured %s backend (%s clock) in %v]\n",
+		rep.Backend, rep.Mode, time.Since(t0).Round(time.Millisecond))
+
+	m := rep.Metrics
+	fmt.Fprintf(w, "[live %s backend, %s clock, %d workers]\n", rep.Backend, rep.Mode, o.procs)
+	fmt.Fprintf(w, "  accesses (N):        %d\n", m.Ops)
+	fmt.Fprintf(w, "  required blocks (B): %d\n", m.Blocks)
+	fmt.Fprintf(w, "  moved bytes (M):     %d\n", m.MovedBytes)
+	fmt.Fprintf(w, "  overlapped T:        %.6f s\n", m.IOTime.Seconds())
+	fmt.Fprintf(w, "  exec time:           %.6f s\n", m.ExecTime.Seconds())
+	fmt.Fprintf(w, "  IOPS:                %.2f ops/s\n", m.IOPS())
+	fmt.Fprintf(w, "  bandwidth:           %.2f MB/s\n", m.Bandwidth()/1e6)
+	fmt.Fprintf(w, "  ARPT:                %.6f s\n", m.ARPT())
+	fmt.Fprintf(w, "  BPS:                 %.2f blocks/s\n", m.BPS())
+	if rep.Errors > 0 {
+		fmt.Fprintf(w, "  (%d accesses failed)\n", rep.Errors)
+	}
+	if o.windowsOut != "" {
+		f, err := os.Create(o.windowsOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteWindowsCSV(f, rep.Attribution); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", o.windowsOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote window series to %s]\n", o.windowsOut)
+	}
+	return nil
 }
 
 // parseRates parses a comma-separated -fault-rates list; "" means nil
@@ -149,7 +318,7 @@ func parseRates(s string) ([]float64, error) {
 // writeObservation exports the last instrumented run's Chrome trace,
 // per-layer metrics CSV, attribution report (blame table plus windowed
 // series on stdout, folded stacks to attribOut), and/or burst forecast.
-func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut string, windows, forecastOut bool) error {
+func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut, windowsOut string, windows, forecastOut bool) error {
 	if traceOut == "" && metricsOut == "" && attribOut == "" && !windows && !forecastOut {
 		return nil
 	}
@@ -190,6 +359,14 @@ func writeObservation(suite *experiments.Suite, traceOut, metricsOut, attribOut 
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "[wrote folded stacks of run %q to %s]\n", last.Label, attribOut)
+		}
+		if windowsOut != "" {
+			if err := write(windowsOut, func(f io.Writer) error {
+				return report.WriteWindowsCSV(f, rep)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[wrote window series of run %q to %s]\n", last.Label, windowsOut)
 		}
 	}
 	if forecastOut {

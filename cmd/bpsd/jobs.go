@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -270,9 +271,36 @@ func (m *jobManager) mount(mux *http.ServeMux, pub *serve.Publisher) {
 	})
 }
 
+// submitBufs pools the request-body buffers of the POST /jobs hot path.
+// A per-request json.Decoder allocates its own read buffer and scanner
+// state every submit; reading into a pooled buffer and unmarshalling
+// from it keeps a submit-heavy client from turning the handler into
+// steady allocation churn. Buffers that grew past submitBufKeep (a
+// pathological oversized body) are dropped rather than pinned in the
+// pool.
+var submitBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const submitBufKeep = 64 << 10
+
+// decodeSubmit reads and unmarshals one POST /jobs body through the
+// buffer pool, enforcing the same 1 MiB cap as before.
+func decodeSubmit(w http.ResponseWriter, r *http.Request, js *jobSubmit) error {
+	buf := submitBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= submitBufKeep {
+			submitBufs.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), js)
+}
+
 func (m *jobManager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var js jobSubmit
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&js); err != nil {
+	if err := decodeSubmit(w, r, &js); err != nil {
 		http.Error(w, "bad job body: "+err.Error(), http.StatusBadRequest)
 		return
 	}

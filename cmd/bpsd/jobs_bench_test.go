@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bps"
+)
+
+// BenchmarkJobsSubmit measures the POST /jobs hot path — body decode
+// (through the pooled buffers), validation, and enqueue — without the
+// scheduler, network, or a simulation. Each iteration immediately
+// retires the accepted job so the queue and job table stay constant
+// size; that cleanup is constant-time and part of the measured path.
+func BenchmarkJobsSubmit(b *testing.B) {
+	opts := options{
+		seed: 1, procs: 2, mb: 2, record: 1 << 20,
+		maxJobs: 8, batchWait: time.Second, grace: 30 * time.Second,
+	}
+	storage := bps.Storage{Media: bps.HDD, Servers: 2, SharedFile: true}
+	mgr := newJobManager(opts, storage, func() *bps.ObserveOptions { return nil }, io.Discard)
+	body := []byte(`{"tenant":"bench","priority":1,"procs":2,"mb":4,"record_bytes":1048576}`)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mgr.handleSubmit(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		mgr.mu.Lock()
+		mgr.queue = mgr.queue[:0]
+		delete(mgr.jobs, mgr.nextID-1)
+		mgr.mu.Unlock()
+	}
+}

@@ -6,7 +6,13 @@
 //
 //	iogen [-pattern sequential|concurrent|bursty|random] [-ops N]
 //	      [-procs P] [-size BYTES] [-service SECONDS] [-seed S]
-//	      [-format binary|csv|jsonl] [-out FILE]
+//	      [-format binary|csv|jsonl] [-out FILE] [-layout DIR]
+//
+// With -layout DIR, iogen also materializes the generated workload as a
+// real directory tree: one slotNNNN.dat file per process, sized to the
+// bytes that process accesses, laid out exactly where a live replay
+// (bpsbench -backend os -dir DIR) will look for them. Existing files
+// are kept and only grown.
 //
 // Patterns:
 //
@@ -24,8 +30,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 
 	"bps"
+	"bps/internal/backend"
+	"bps/internal/live"
+	"bps/internal/workload"
 )
 
 func main() {
@@ -37,6 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for the random pattern")
 	format := flag.String("format", "binary", "binary, csv, or jsonl")
 	out := flag.String("out", "-", "output file (- for stdout)")
+	layoutDir := flag.String("layout", "", "also materialize the workload as a real directory tree here (slot files for bpsbench -backend os)")
 	flag.Parse()
 
 	records, err := generate(*pattern, *ops, *procs, *size, *service, *seed)
@@ -49,6 +60,66 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "iogen: wrote %d records (%s, %s)\n", len(records), *pattern, *format)
+	if *layoutDir != "" {
+		if err := layout(*layoutDir, records); err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// layout materializes the generated workload as a real directory tree:
+// each process gets one slot file sized to the bytes it accesses, so
+// bpsbench -backend os -dir DIR finds a ready dataset. Offsets advance
+// sequentially within each process's slot, mirroring how the live
+// driver derives extents from an access stream.
+func layout(dir string, records []bps.Record) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	accs := layoutAccesses(records)
+	extents, err := live.Layout(backend.NewOSFS(dir, false), accs)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, ext := range extents {
+		total += ext
+	}
+	fmt.Fprintf(os.Stderr, "iogen: laid out %d slot file(s) under %s (%d bytes)\n", len(extents), dir, total)
+	return nil
+}
+
+// layoutAccesses converts trace records (pid, blocks) into offset-aware
+// accesses: one slot per process in PID order, offsets cumulative in
+// record order, sizes the records' required bytes.
+func layoutAccesses(records []bps.Record) []workload.Access {
+	slots := make(map[int64]int)
+	var pids []int64
+	for _, r := range records {
+		if _, ok := slots[r.PID]; !ok {
+			slots[r.PID] = 0
+			pids = append(pids, r.PID)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for i, pid := range pids {
+		slots[pid] = i
+	}
+	offs := make(map[int64]int64)
+	accs := make([]workload.Access, 0, len(records))
+	for _, r := range records {
+		n := r.Blocks * bps.BlockSize
+		accs = append(accs, workload.Access{
+			PID:   r.PID,
+			Slot:  slots[r.PID],
+			Off:   offs[r.PID],
+			Size:  n,
+			Start: r.Start,
+		})
+		offs[r.PID] += n
+	}
+	return accs
 }
 
 func generate(pattern string, ops, procs int, size int64, service float64, seed int64) ([]bps.Record, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -119,6 +120,57 @@ func TestWriteFormats(t *testing.T) {
 	}
 	if err := write(filepath.Join(dir, "x"), "nope", recs); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestLayoutAccesses checks the record→access conversion: one slot per
+// process, cumulative offsets, sizes from required blocks.
+func TestLayoutAccesses(t *testing.T) {
+	records, err := generate("random", 10, 3, 4096, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := layoutAccesses(records)
+	if len(accs) != len(records) {
+		t.Fatalf("%d accesses from %d records", len(accs), len(records))
+	}
+	off := map[int64]int64{}
+	for i, a := range accs {
+		if a.Slot != int(a.PID) {
+			t.Fatalf("access %d: slot %d for pid %d", i, a.Slot, a.PID)
+		}
+		if a.Off != off[a.PID] {
+			t.Fatalf("access %d: offset %d, want cumulative %d", i, a.Off, off[a.PID])
+		}
+		if want := records[i].Blocks * bps.BlockSize; a.Size != want {
+			t.Fatalf("access %d: size %d, want %d", i, a.Size, want)
+		}
+		off[a.PID] += a.Size
+	}
+}
+
+// TestLayoutMaterializes checks -layout end to end: slot files exist on
+// disk with the per-process extents, and re-laying out is idempotent.
+func TestLayoutMaterializes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	records, err := generate("sequential", 5, 2, 8192, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout(dir, records); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 2; slot++ {
+		fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("slot%04d.dat", slot)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(5 * 8192); fi.Size() != want {
+			t.Fatalf("slot %d: size %d, want %d", slot, fi.Size(), want)
+		}
+	}
+	if err := layout(dir, records); err != nil {
+		t.Fatal(err)
 	}
 }
 

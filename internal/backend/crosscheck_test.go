@@ -1,0 +1,297 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestCrossCheckRandomOps drives identical pseudo-random operation
+// sequences through memfs and osfs and requires them to agree at every
+// step: same success/failure, same error kind and string, same byte
+// counts, and — at the end — identical directory trees, file sizes, and
+// file contents. This is the property that makes the in-memory backend
+// a faithful stand-in for a real directory in live runs.
+func TestCrossCheckRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			crossCheck(t, seed, 400)
+		})
+	}
+}
+
+// pairFile is a handle open on both backends at once.
+type pairFile struct {
+	name     string
+	mem, osf File
+}
+
+func crossCheck(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mem := NewMemFS()
+	osb := NewOSFS(t.TempDir(), false)
+
+	// The namespace the sequence draws from: a small closed set of
+	// names, so collisions (EEXIST, ENOTDIR, ...) actually happen.
+	names := []string{
+		"a.dat", "b.dat", "d1", "d1/c.dat", "d1/d2", "d1/d2/e.dat",
+		"d1/../a.dat", "./b.dat", "d1//c.dat",
+	}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	var open []*pairFile
+
+	same := func(step int, op string, memErr, osErr error) bool {
+		t.Helper()
+		if (memErr == nil) != (osErr == nil) {
+			t.Fatalf("step %d %s: memfs err %v, osfs err %v", step, op, memErr, osErr)
+		}
+		if memErr == nil {
+			return true
+		}
+		// io.EOF is returned bare by both; everything else must be a
+		// PathError with identical rendering.
+		if errors.Is(memErr, io.EOF) || errors.Is(osErr, io.EOF) {
+			if memErr != osErr {
+				t.Fatalf("step %d %s: EOF divergence: memfs %v, osfs %v", step, op, memErr, osErr)
+			}
+			return false
+		}
+		if memErr.Error() != osErr.Error() {
+			t.Fatalf("step %d %s: error divergence:\n  memfs: %v\n  osfs:  %v", step, op, memErr, osErr)
+		}
+		return false
+	}
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(10) {
+		case 0: // open
+			name := pick()
+			flag := []int{
+				os.O_RDONLY,
+				os.O_RDWR,
+				os.O_RDWR | os.O_CREATE,
+				os.O_WRONLY | os.O_CREATE,
+				os.O_RDWR | os.O_CREATE | os.O_EXCL,
+				os.O_RDWR | os.O_CREATE | os.O_TRUNC,
+			}[rng.Intn(6)]
+			mf, memErr := mem.OpenFile(name, flag, 0o644)
+			of, osErr := osb.OpenFile(name, flag, 0o644)
+			if same(step, "open "+name, memErr, osErr) {
+				open = append(open, &pairFile{name: name, mem: mf, osf: of})
+			}
+		case 1: // mkdir
+			name := pick()
+			same(step, "mkdir "+name, mem.Mkdir(name, 0o755), osb.Mkdir(name, 0o755))
+		case 2: // mkdirall
+			name := pick()
+			same(step, "mkdirall "+name, mem.MkdirAll(name, 0o755), osb.MkdirAll(name, 0o755))
+		case 3: // remove
+			name := pick()
+			same(step, "remove "+name, mem.Remove(name), osb.Remove(name))
+		case 4: // stat
+			name := pick()
+			mfi, memErr := mem.Stat(name)
+			ofi, osErr := osb.Stat(name)
+			if same(step, "stat "+name, memErr, osErr) {
+				if mfi.IsDir() != ofi.IsDir() || (!mfi.IsDir() && mfi.Size() != ofi.Size()) {
+					t.Fatalf("step %d stat %s: memfs (dir=%v size=%d) vs osfs (dir=%v size=%d)",
+						step, name, mfi.IsDir(), mfi.Size(), ofi.IsDir(), ofi.Size())
+				}
+			}
+		case 5: // readdir
+			name := pick()
+			ments, memErr := mem.ReadDir(name)
+			oents, osErr := osb.ReadDir(name)
+			if same(step, "readdir "+name, memErr, osErr) {
+				if len(ments) != len(oents) {
+					t.Fatalf("step %d readdir %s: %d vs %d entries", step, name, len(ments), len(oents))
+				}
+				for i := range ments {
+					if ments[i].Name() != oents[i].Name() || ments[i].IsDir() != oents[i].IsDir() {
+						t.Fatalf("step %d readdir %s: entry %d: %v vs %v", step, name, i, ments[i], oents[i])
+					}
+				}
+			}
+		case 6: // truncate by name
+			name := pick()
+			size := rng.Int63n(4096)
+			same(step, "truncate "+name, mem.Truncate(name, size), osb.Truncate(name, size))
+		case 7: // write through an open pair
+			if len(open) == 0 {
+				continue
+			}
+			p := open[rng.Intn(len(open))]
+			data := make([]byte, 1+rng.Intn(2048))
+			rng.Read(data)
+			off := rng.Int63n(8192)
+			mn, memErr := p.mem.WriteAt(data, off)
+			on, osErr := p.osf.WriteAt(data, off)
+			same(step, "write "+p.name, memErr, osErr)
+			if mn != on {
+				t.Fatalf("step %d write %s: wrote %d vs %d bytes", step, p.name, mn, on)
+			}
+		case 8: // read through an open pair
+			if len(open) == 0 {
+				continue
+			}
+			p := open[rng.Intn(len(open))]
+			mbuf := make([]byte, 1+rng.Intn(2048))
+			obuf := make([]byte, len(mbuf))
+			off := rng.Int63n(8192)
+			mn, memErr := p.mem.ReadAt(mbuf, off)
+			on, osErr := p.osf.ReadAt(obuf, off)
+			same(step, "read "+p.name, memErr, osErr)
+			if mn != on {
+				t.Fatalf("step %d read %s at %d: read %d vs %d bytes", step, p.name, off, mn, on)
+			}
+			if !bytes.Equal(mbuf[:mn], obuf[:on]) {
+				t.Fatalf("step %d read %s at %d: contents diverge", step, p.name, off)
+			}
+		case 9: // close (sometimes double-close)
+			if len(open) == 0 || rng.Intn(2) == 0 {
+				continue
+			}
+			i := rng.Intn(len(open))
+			p := open[i]
+			same(step, "close "+p.name, p.mem.Close(), p.osf.Close())
+			open = append(open[:i], open[i+1:]...)
+		}
+	}
+	for _, p := range open {
+		p.mem.Close()
+		p.osf.Close()
+	}
+	compareTrees(t, mem, osb, ".")
+	if mem.Moved() != osb.Moved() {
+		t.Fatalf("moved bytes diverge: memfs %d, osfs %d", mem.Moved(), osb.Moved())
+	}
+}
+
+// compareTrees walks both backends in lockstep asserting identical
+// structure, sizes, and contents.
+func compareTrees(t *testing.T, mem, osb FS, dir string) {
+	t.Helper()
+	ments, memErr := mem.ReadDir(dir)
+	oents, osErr := osb.ReadDir(dir)
+	if memErr != nil || osErr != nil {
+		t.Fatalf("readdir %s: memfs %v, osfs %v", dir, memErr, osErr)
+	}
+	if len(ments) != len(oents) {
+		t.Fatalf("tree %s: %d vs %d entries", dir, len(ments), len(oents))
+	}
+	for i := range ments {
+		if ments[i].Name() != oents[i].Name() || ments[i].IsDir() != oents[i].IsDir() {
+			t.Fatalf("tree %s: entry %d: %s(dir=%v) vs %s(dir=%v)", dir, i,
+				ments[i].Name(), ments[i].IsDir(), oents[i].Name(), oents[i].IsDir())
+		}
+		name := dir + "/" + ments[i].Name()
+		if ments[i].IsDir() {
+			compareTrees(t, mem, osb, name)
+			continue
+		}
+		mfi, _ := mem.Stat(name)
+		ofi, _ := osb.Stat(name)
+		if mfi.Size() != ofi.Size() {
+			t.Fatalf("tree %s: size %d vs %d", name, mfi.Size(), ofi.Size())
+		}
+		mf, err := mem.OpenFile(name, os.O_RDONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		of, err := osb.OpenFile(name, os.O_RDONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdata := readAll(t, mf, mfi.Size())
+		odata := readAll(t, of, ofi.Size())
+		mf.Close()
+		of.Close()
+		if !bytes.Equal(mdata, odata) {
+			t.Fatalf("tree %s: contents diverge (%d bytes)", name, len(mdata))
+		}
+	}
+}
+
+func readAll(t *testing.T, f File, size int64) []byte {
+	t.Helper()
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf
+	}
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+// TestCrossCheckConcurrent runs one writer goroutine per file on both
+// backends — the live driver's sharing shape (distinct open files,
+// shared FS) — then requires identical contents. Run with -race this
+// also proves the memfs locking discipline.
+func TestCrossCheckConcurrent(t *testing.T) {
+	const workers = 8
+	const writes = 64
+	mem := NewMemFS()
+	osb := NewOSFS(t.TempDir(), false)
+	for _, fsys := range []FS{mem, osb} {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				name := fmt.Sprintf("slot%04d.dat", w)
+				f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer f.Close()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < writes; i++ {
+					data := make([]byte, 512+rng.Intn(4096))
+					rng.Read(data)
+					if _, err := f.WriteAt(data, rng.Int63n(1<<16)); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := f.ReadAt(make([]byte, 256), rng.Int63n(1<<15)); err != nil && err != io.EOF {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	if t.Failed() {
+		return
+	}
+	compareTrees(t, mem, osb, ".")
+}
+
+// TestOSFSRootEscape pins the containment property: a path stuffed with
+// ".." still resolves inside the root on both backends.
+func TestOSFSRootEscape(t *testing.T) {
+	dir := t.TempDir()
+	osb := NewOSFS(dir, false)
+	f, err := osb.OpenFile("../../../../escape.dat", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := os.Stat(dir + "/escape.dat"); err != nil {
+		t.Fatalf("cleaned path not under root: %v", err)
+	}
+	var perr *fs.PathError
+	if _, err := osb.Stat("../../nope"); err == nil || !errors.As(err, &perr) || perr.Path != "../../nope" {
+		t.Fatalf("error path not rewritten to caller name: %v", err)
+	}
+}

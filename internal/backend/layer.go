@@ -1,0 +1,62 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+
+	"bps/internal/ioreq"
+	"bps/internal/sim"
+)
+
+// FileLayer adapts an open backend File to an ioreq.Layer: the terminal
+// layer of a live measurement stack, standing where fsim/device layers
+// stand in a simulated one. Reads and writes are served with
+// pread/pwrite in chunkSize pieces through pooled aligned buffers, so a
+// block-size sweep's hot path stays allocation-free and O_DIRECT-safe.
+//
+// A short read (the request range extends past EOF) is an error — the
+// workload generator is expected to have laid out files covering every
+// access (see iogen -layout), and silently under-moving bytes would
+// corrupt the BW numerator.
+func FileLayer(f File) ioreq.Layer {
+	return ioreq.Func(func(p *sim.Proc, req *ioreq.Request) error {
+		buf := getBuf()
+		defer putBuf(buf)
+		b := *buf
+		off, left := req.Off, req.Size
+		for left > 0 {
+			n := int64(len(b))
+			if left < n {
+				n = left
+			}
+			chunk := b[:n]
+			switch req.Op {
+			case ioreq.OpWrite:
+				fill(chunk, byte(req.ID))
+				if _, err := f.WriteAt(chunk, off); err != nil {
+					return fmt.Errorf("backend write at %d: %w", off, err)
+				}
+			default:
+				got, err := f.ReadAt(chunk, off)
+				if err == io.EOF && int64(got) < n {
+					return fmt.Errorf("backend short read at %d: got %d of %d bytes: %w",
+						off, got, n, io.ErrUnexpectedEOF)
+				}
+				if err != nil && err != io.EOF {
+					return fmt.Errorf("backend read at %d: %w", off, err)
+				}
+			}
+			off += n
+			left -= n
+		}
+		return nil
+	})
+}
+
+// fill writes a deterministic byte pattern so written file contents are
+// a pure function of the request, not of stale pool memory.
+func fill(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}

@@ -1,0 +1,431 @@
+package backend
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// MemFS is an inode-table in-memory filesystem. The namespace (the
+// directory tree) is guarded by one RWMutex; each file inode carries
+// its own lock for data access, so concurrent workers reading and
+// writing disjoint open files never contend on the tree lock.
+//
+// Error values are constructed to be indistinguishable from the os
+// package's on Linux: *fs.PathError with the same Op string, the
+// caller-given path verbatim, and a syscall.Errno kind (ENOENT, EEXIST,
+// EISDIR, ENOTDIR, ENOTEMPTY, EBADF). The cross-check suite in
+// crosscheck_test.go holds MemFS to that contract against a real
+// directory tree.
+type MemFS struct {
+	mu    sync.RWMutex
+	root  *inode
+	moved atomic.Int64
+}
+
+// inode is one filesystem object: a directory with children or a
+// regular file with data. Data access takes the inode's own lock; all
+// namespace fields (children, names) are guarded by the owning MemFS
+// tree lock.
+type inode struct {
+	dir      bool
+	children map[string]*inode // dir only
+
+	mu   sync.RWMutex // file only: guards data
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{root: &inode{dir: true, children: map[string]*inode{}}}
+}
+
+// Name identifies the backend.
+func (m *MemFS) Name() string { return "mem" }
+
+// Moved returns cumulative bytes transferred through read/write calls.
+func (m *MemFS) Moved() int64 { return m.moved.Load() }
+
+// splitPath cleans name into its path elements relative to the root.
+// Cleaning happens against a leading slash, so relative names, ".." and
+// "." resolve exactly as the os backend resolves them under its root —
+// and no name can escape it.
+func splitPath(name string) []string {
+	clean := path.Clean("/" + name)
+	if clean == "/" {
+		return nil
+	}
+	return strings.Split(clean[1:], "/")
+}
+
+// walk resolves the directory holding the last element of elems,
+// returning (parent, leaf). Callers hold m.mu.
+func (m *MemFS) walk(op, name string, elems []string) (*inode, string, error) {
+	dir := m.root
+	for _, el := range elems[:len(elems)-1] {
+		child, ok := dir.children[el]
+		if !ok {
+			return nil, "", &fs.PathError{Op: op, Path: name, Err: syscall.ENOENT}
+		}
+		if !child.dir {
+			return nil, "", &fs.PathError{Op: op, Path: name, Err: syscall.ENOTDIR}
+		}
+		dir = child
+	}
+	return dir, elems[len(elems)-1], nil
+}
+
+// lookup resolves a whole path to its inode. Callers hold m.mu.
+func (m *MemFS) lookup(op, name string, elems []string) (*inode, error) {
+	if len(elems) == 0 {
+		return m.root, nil
+	}
+	dir, leaf, err := m.walk(op, name, elems)
+	if err != nil {
+		return nil, err
+	}
+	node, ok := dir.children[leaf]
+	if !ok {
+		return nil, &fs.PathError{Op: op, Path: name, Err: syscall.ENOENT}
+	}
+	return node, nil
+}
+
+// OpenFile opens name with os.O_* flag semantics. Supported flags are
+// the ones the measurement path uses: O_RDONLY/O_WRONLY/O_RDWR plus
+// O_CREATE, O_EXCL and O_TRUNC.
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	elems := splitPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var node *inode
+	if len(elems) == 0 {
+		node = m.root
+	} else {
+		dir, leaf, err := m.walk("open", name, elems)
+		if err != nil {
+			return nil, err
+		}
+		existing, ok := dir.children[leaf]
+		switch {
+		case ok && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+			return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.EEXIST}
+		case !ok && flag&os.O_CREATE == 0:
+			return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.ENOENT}
+		case !ok:
+			existing = &inode{}
+			dir.children[leaf] = existing
+		}
+		node = existing
+	}
+
+	if node.dir && flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.EISDIR}
+	}
+	if !node.dir && flag&os.O_TRUNC != 0 {
+		node.mu.Lock()
+		node.data = node.data[:0]
+		node.mu.Unlock()
+	}
+	return &memFile{fs: m, node: node, name: name, flag: flag}, nil
+}
+
+// Mkdir creates a single directory.
+func (m *MemFS) Mkdir(name string, perm fs.FileMode) error {
+	elems := splitPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(elems) == 0 {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: syscall.EEXIST}
+	}
+	dir, leaf, err := m.walk("mkdir", name, elems)
+	if err != nil {
+		return err
+	}
+	if _, ok := dir.children[leaf]; ok {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: syscall.EEXIST}
+	}
+	dir.children[leaf] = &inode{dir: true, children: map[string]*inode{}}
+	return nil
+}
+
+// MkdirAll creates a directory and all missing parents; existing
+// directories along the way are fine, matching os.MkdirAll.
+func (m *MemFS) MkdirAll(name string, perm fs.FileMode) error {
+	elems := splitPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir := m.root
+	for _, el := range elems {
+		child, ok := dir.children[el]
+		if !ok {
+			child = &inode{dir: true, children: map[string]*inode{}}
+			dir.children[el] = child
+		} else if !child.dir {
+			return &fs.PathError{Op: "mkdir", Path: name, Err: syscall.ENOTDIR}
+		}
+		dir = child
+	}
+	return nil
+}
+
+// Remove deletes a file or empty directory.
+func (m *MemFS) Remove(name string) error {
+	elems := splitPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(elems) == 0 {
+		return &fs.PathError{Op: "remove", Path: name, Err: syscall.EBUSY}
+	}
+	dir, leaf, err := m.walk("remove", name, elems)
+	if err != nil {
+		return err
+	}
+	node, ok := dir.children[leaf]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: syscall.ENOENT}
+	}
+	if node.dir && len(node.children) > 0 {
+		return &fs.PathError{Op: "remove", Path: name, Err: syscall.ENOTEMPTY}
+	}
+	delete(dir.children, leaf)
+	return nil
+}
+
+// Stat reports metadata for the named file.
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	elems := splitPath(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	node, err := m.lookup("stat", name, elems)
+	if err != nil {
+		return nil, err
+	}
+	return node.info(path.Base(path.Clean("/" + name))), nil
+}
+
+// ReadDir lists the named directory in name order.
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	elems := splitPath(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	node, err := m.lookup("open", name, elems)
+	if err != nil {
+		return nil, err
+	}
+	if !node.dir {
+		// os.ReadDir opens with O_DIRECTORY, so a non-directory fails at
+		// open time; mirror that op.
+		return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.ENOTDIR}
+	}
+	names := make([]string, 0, len(node.children))
+	for n := range node.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ents := make([]fs.DirEntry, len(names))
+	for i, n := range names {
+		ents[i] = dirEntry{info: node.children[n].info(n)}
+	}
+	return ents, nil
+}
+
+// Truncate resizes the named file; extension zero-fills.
+func (m *MemFS) Truncate(name string, size int64) error {
+	elems := splitPath(name)
+	m.mu.RLock()
+	node, err := m.lookup("truncate", name, elems)
+	m.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if node.dir {
+		return &fs.PathError{Op: "truncate", Path: name, Err: syscall.EISDIR}
+	}
+	if size < 0 {
+		return &fs.PathError{Op: "truncate", Path: name, Err: syscall.EINVAL}
+	}
+	node.mu.Lock()
+	node.resize(size)
+	node.mu.Unlock()
+	return nil
+}
+
+// resize grows or shrinks data to size. Callers hold node.mu.
+func (n *inode) resize(size int64) {
+	switch cur := int64(len(n.data)); {
+	case size < cur:
+		n.data = n.data[:size]
+	case size > cur:
+		if int64(cap(n.data)) >= size {
+			grown := n.data[:size]
+			clear(grown[cur:])
+			n.data = grown
+		} else {
+			grown := make([]byte, size)
+			copy(grown, n.data)
+			n.data = grown
+		}
+	}
+}
+
+// info builds a FileInfo snapshot. Callers hold the relevant lock for a
+// consistent size. ModTime is pinned to the zero instant so memfs runs
+// stay byte-deterministic.
+func (n *inode) info(name string) fs.FileInfo {
+	fi := fileInfo{name: name, mode: 0o644}
+	if n.dir {
+		fi.mode = fs.ModeDir | 0o755
+	} else {
+		n.mu.RLock()
+		fi.size = int64(len(n.data))
+		n.mu.RUnlock()
+	}
+	return fi
+}
+
+// memFile is an open handle onto a MemFS inode.
+type memFile struct {
+	fs     *MemFS
+	node   *inode
+	name   string
+	flag   int
+	closed atomic.Bool
+}
+
+// readable reports whether the open mode permits reads.
+func (f *memFile) readable() bool { return f.flag&(os.O_WRONLY|os.O_RDWR) != os.O_WRONLY }
+
+// writable reports whether the open mode permits writes.
+func (f *memFile) writable() bool { return f.flag&(os.O_WRONLY|os.O_RDWR) != 0 }
+
+func (f *memFile) patherr(op string, err error) error {
+	return &fs.PathError{Op: op, Path: f.name, Err: err}
+}
+
+// ReadAt implements io.ReaderAt with pread semantics: a read past EOF
+// returns io.EOF, a short read returns (n, io.EOF).
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, f.patherr("read", os.ErrClosed)
+	}
+	if !f.readable() {
+		return 0, f.patherr("read", syscall.EBADF)
+	}
+	if f.node.dir {
+		return 0, f.patherr("read", syscall.EISDIR)
+	}
+	if off < 0 {
+		return 0, f.patherr("read", syscall.EINVAL)
+	}
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	if off >= int64(len(f.node.data)) {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[off:])
+	f.fs.moved.Add(int64(n))
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt with pwrite semantics: writing past
+// EOF extends the file, zero-filling any gap.
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, f.patherr("write", os.ErrClosed)
+	}
+	if !f.writable() {
+		return 0, f.patherr("write", syscall.EBADF)
+	}
+	if off < 0 {
+		return 0, f.patherr("write", syscall.EINVAL)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(f.node.data)) {
+		f.node.resize(end)
+	}
+	n := copy(f.node.data[off:], p)
+	f.fs.moved.Add(int64(n))
+	return n, nil
+}
+
+// Truncate resizes the open file.
+func (f *memFile) Truncate(size int64) error {
+	if f.closed.Load() {
+		return f.patherr("truncate", os.ErrClosed)
+	}
+	if !f.writable() {
+		return f.patherr("truncate", syscall.EINVAL)
+	}
+	if size < 0 {
+		return f.patherr("truncate", syscall.EINVAL)
+	}
+	f.node.mu.Lock()
+	f.node.resize(size)
+	f.node.mu.Unlock()
+	return nil
+}
+
+// Stat reports the file's current metadata.
+func (f *memFile) Stat() (fs.FileInfo, error) {
+	if f.closed.Load() {
+		return nil, f.patherr("stat", os.ErrClosed)
+	}
+	return f.node.info(path.Base(path.Clean("/" + f.name))), nil
+}
+
+// Sync is a no-op: memory is the backing store.
+func (f *memFile) Sync() error {
+	if f.closed.Load() {
+		return f.patherr("sync", os.ErrClosed)
+	}
+	return nil
+}
+
+// Close invalidates the handle; further operations return ErrClosed.
+func (f *memFile) Close() error {
+	if f.closed.Swap(true) {
+		return f.patherr("close", os.ErrClosed)
+	}
+	return nil
+}
+
+// fileInfo is the immutable fs.FileInfo snapshot memfs hands out.
+type fileInfo struct {
+	name string
+	size int64
+	mode fs.FileMode
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return fi.mode }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.mode.IsDir() }
+func (fi fileInfo) Sys() any           { return nil }
+
+// dirEntry adapts a fileInfo to fs.DirEntry for ReadDir.
+type dirEntry struct{ info fs.FileInfo }
+
+func (d dirEntry) Name() string               { return d.info.Name() }
+func (d dirEntry) IsDir() bool                { return d.info.IsDir() }
+func (d dirEntry) Type() fs.FileMode          { return d.info.Mode().Type() }
+func (d dirEntry) Info() (fs.FileInfo, error) { return d.info, nil }

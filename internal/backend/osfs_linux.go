@@ -1,0 +1,16 @@
+//go:build linux
+
+package backend
+
+import "syscall"
+
+// directFlag returns the O_DIRECT open flag when direct I/O was
+// requested; Linux supports it on most filesystems. Callers that pass
+// O_DIRECT must use block-aligned buffers — the pooled transfer buffers
+// in this package are chunkAlign-aligned for exactly that reason.
+func directFlag(direct bool) int {
+	if direct {
+		return syscall.O_DIRECT
+	}
+	return 0
+}

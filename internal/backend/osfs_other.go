@@ -1,0 +1,7 @@
+//go:build !linux
+
+package backend
+
+// directFlag is a no-op off Linux: O_DIRECT is not portable, so direct
+// mode silently degrades to page-cached I/O rather than failing runs.
+func directFlag(bool) int { return 0 }

@@ -205,9 +205,11 @@ func (s *Suite) Figure(id string) (Figure, error) {
 		return s.figShardScale()
 	case QoSFigureID:
 		return s.figQoS()
+	case LiveMemFigureID:
+		return s.figLiveMem()
 	default:
-		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, %q, %q, %q, and %q)",
-			id, FigureIDs, ExtensionIDs, FaultFigureID, ClientCacheFigureID, ShardScaleFigureID, QoSFigureID)
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v, extensions %v, %q, %q, %q, %q, and %q)",
+			id, FigureIDs, ExtensionIDs, FaultFigureID, ClientCacheFigureID, ShardScaleFigureID, QoSFigureID, LiveMemFigureID)
 	}
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tiny params keep the livemem sweep fast in tests while preserving the
+// regime change across record sizes.
+func liveMemTestParams() Params {
+	return Params{Scale: 1.0 / 256, Seed: 42}
+}
+
+func TestLiveMemFigureShape(t *testing.T) {
+	f, err := NewSuite(liveMemTestParams()).Figure(LiveMemFigureID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != LiveMemFigureID || f.CC == nil || f.IsDetail {
+		t.Fatalf("figure shape: %+v", f)
+	}
+	if len(f.Points) != len(set2RecordSizes) {
+		t.Fatalf("%d points, want %d", len(f.Points), len(set2RecordSizes))
+	}
+	for _, pt := range f.Points {
+		if pt.Errors != 0 {
+			t.Fatalf("%s: %d errors", pt.Label, pt.Errors)
+		}
+		if pt.Metrics.BPS() <= 0 || pt.Metrics.Ops <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", pt.Label, pt.Metrics)
+		}
+		if pt.Aux["windows"] <= 0 {
+			t.Fatalf("%s: no windows", pt.Label)
+		}
+	}
+	// The figure's reason to exist: IOPS rewards small records, BW large
+	// ones. Check the endpoints rank that way.
+	first, last := f.Points[0].Metrics, f.Points[len(f.Points)-1].Metrics
+	if first.IOPS() <= last.IOPS() {
+		t.Fatalf("IOPS did not fall with record size: %v → %v", first.IOPS(), last.IOPS())
+	}
+	if first.Bandwidth() >= last.Bandwidth() {
+		t.Fatalf("BW did not rise with record size: %v → %v", first.Bandwidth(), last.Bandwidth())
+	}
+}
+
+// TestLiveMemDeterministic pins the figure's byte-level stability: two
+// independent suites at the same params produce identical points.
+func TestLiveMemDeterministic(t *testing.T) {
+	run := func() Figure {
+		f, err := NewSuite(liveMemTestParams()).Figure(LiveMemFigureID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		t.Fatalf("livemem points diverge between runs:\n%+v\nvs\n%+v", a.Points, b.Points)
+	}
+	if !reflect.DeepEqual(a.CC, b.CC) {
+		t.Fatalf("livemem CC diverges between runs")
+	}
+}

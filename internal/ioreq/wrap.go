@@ -74,7 +74,9 @@ type RetryConfig struct {
 
 // Retry returns a middleware that re-serves failed requests with capped
 // exponential backoff, bumping req.Attempt on each try. The jitter draw
-// comes from the engine's RNG, keeping runs seed-deterministic.
+// comes from the serving proc's RNG, keeping simulated runs
+// seed-deterministic (on a classic engine that is the engine RNG) while
+// staying race-free when concurrent live workers share one stack.
 func Retry(e *sim.Engine, cfg RetryConfig) Middleware {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
@@ -85,7 +87,6 @@ func Retry(e *sim.Engine, cfg RetryConfig) Middleware {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 16 * sim.Millisecond
 	}
-	rng := e.Rand()
 	return func(next Layer) Layer {
 		return Func(func(p *sim.Proc, req *Request) error {
 			backoff := cfg.Backoff
@@ -98,7 +99,7 @@ func Retry(e *sim.Engine, cfg RetryConfig) Middleware {
 				if cfg.RetryIf != nil && !cfg.RetryIf(err) {
 					return err
 				}
-				jitter := sim.Time(rng.Int63n(int64(backoff)/2 + 1))
+				jitter := sim.Time(p.Rand().Int63n(int64(backoff)/2 + 1))
 				p.Sleep(backoff + jitter)
 				if backoff *= 2; backoff > cfg.MaxBackoff {
 					backoff = cfg.MaxBackoff

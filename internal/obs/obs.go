@@ -70,6 +70,7 @@ type Options struct {
 // default: every method is safe to call and does nothing.
 type Observer struct {
 	eng     *sim.Engine
+	clock   sim.TimeSource // the engine for sim runs; pluggable for live ones
 	reg     *Registry
 	buf     *TraceBuffer      // nil when ChromeTrace is off
 	sampler *Sampler          // nil when SampleEvery is 0
@@ -116,6 +117,7 @@ func Attach(e *sim.Engine, opts Options) *Observer {
 	}
 	o := &Observer{
 		eng:       e,
+		clock:     e,
 		reg:       NewRegistry(),
 		opts:      opts,
 		resources: make(map[*sim.Resource]*resMetrics),
@@ -154,6 +156,23 @@ func Attach(e *sim.Engine, opts Options) *Observer {
 func Get(e *sim.Engine) *Observer {
 	o, _ := e.GetTracer().(*Observer)
 	return o
+}
+
+// now is the observer's own clock read. For simulated runs the clock is
+// the engine itself, so this is exactly the old eng.Now() — timing
+// neutrality is preserved by construction. A live run may install a
+// wall or virtual timeline via SetClock.
+func (o *Observer) now() sim.Time { return o.clock.Now() }
+
+// SetClock repoints the observer's timeline. Call before any
+// measurement starts; the default is the attached engine. Live drivers
+// use this so tracer timestamps (if any fire) land on the live
+// timeline rather than the dormant engine's frozen clock.
+func (o *Observer) SetClock(ts sim.TimeSource) {
+	if o == nil || ts == nil {
+		return
+	}
+	o.clock = ts
 }
 
 // Registry returns the metrics registry (nil for a nil observer, which
@@ -215,13 +234,13 @@ func (o *Observer) Begin(p *sim.Proc, cat, name string, args map[string]any) Spa
 				args["tenant"] = id
 			}
 		}
-		sp.idx = o.buf.span(p, cat, name, o.eng.Now(), args)
+		sp.idx = o.buf.span(p, cat, name, o.now(), args)
 		sp.ok = true
 	}
 	if o.spans {
 		if layer := attrib.LayerOf(cat, name); layer >= 0 {
 			sp.layer = layer + 1 // 0 means "no attribution"
-			sp.start = o.eng.Now()
+			sp.start = o.now()
 		}
 	}
 	if !sp.ok && sp.layer == 0 {
@@ -249,7 +268,7 @@ func (o *Observer) Counter(name string, v float64) {
 	if o == nil || o.buf == nil {
 		return
 	}
-	o.buf.counter(name, o.eng.Now(), v)
+	o.buf.counter(name, o.now(), v)
 }
 
 // AddAppRecord converts one gathered application trace record into an
@@ -343,7 +362,7 @@ func (o *Observer) FinishSampling() {
 	if o == nil || o.sampler == nil {
 		return
 	}
-	o.sampler.Finish(o.eng.Now())
+	o.sampler.Finish(o.now())
 }
 
 // WriteChromeTrace writes the collected Chrome trace-event JSON.
@@ -393,7 +412,7 @@ func (o *Observer) resOf(r *sim.Resource) *resMetrics {
 func (o *Observer) ResourceQueued(r *sim.Resource, p *sim.Proc, n int) {
 	m := o.resOf(r)
 	if m.queued != "" {
-		o.buf.counter(m.queued, o.eng.Now(), float64(r.QueueLen()))
+		o.buf.counter(m.queued, o.now(), float64(r.QueueLen()))
 	}
 }
 
@@ -403,10 +422,10 @@ func (o *Observer) ResourceAcquired(r *sim.Resource, n int, waited sim.Time) {
 	m.acquires.Add(1)
 	m.waitNS.Observe(int64(waited))
 	if m.inUse != "" {
-		o.buf.counter(m.inUse, o.eng.Now(), float64(r.InUse()))
+		o.buf.counter(m.inUse, o.now(), float64(r.InUse()))
 	}
 	if m.queued != "" && waited > 0 {
-		o.buf.counter(m.queued, o.eng.Now(), float64(r.QueueLen()))
+		o.buf.counter(m.queued, o.now(), float64(r.QueueLen()))
 	}
 }
 
@@ -414,6 +433,6 @@ func (o *Observer) ResourceAcquired(r *sim.Resource, n int, waited sim.Time) {
 func (o *Observer) ResourceReleased(r *sim.Resource, n int) {
 	m := o.resOf(r)
 	if m.inUse != "" {
-		o.buf.counter(m.inUse, o.eng.Now(), float64(r.InUse()))
+		o.buf.counter(m.inUse, o.now(), float64(r.InUse()))
 	}
 }

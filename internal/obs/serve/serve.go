@@ -133,16 +133,27 @@ type event struct {
 	data []byte
 }
 
+// Source is what a publisher snapshots: the streaming window series,
+// the window cadence, and the metrics registry. *obs.Observer satisfies
+// it for simulated runs; the live driver (internal/live) satisfies it
+// directly so wall-clock runs publish through the identical pipeline.
+type Source interface {
+	LiveWindows() []attrib.Window
+	WindowEvery() sim.Time
+	Registry() *obs.Registry
+}
+
 // Publisher feeds the forecaster from closing windows and publishes
 // immutable snapshots for the HTTP layer. Create one per run, install
-// its Hook as obs.Options.Tick, and serve its Handler.
+// its Hook as obs.Options.Tick (simulated runs) or call Publish from a
+// ticker goroutine (live runs), and serve its Handler.
 type Publisher struct {
 	label   string
 	fcfg    forecast.Config
 	tracker *forecast.Tracker
 
-	fed     int           // windows already fed to the tracker
-	lastRun *obs.Observer // observer of the run currently ticking
+	fed     int    // windows already fed to the tracker
+	lastRun Source // source of the run currently ticking
 
 	mu   sync.RWMutex
 	snap *Snapshot
@@ -200,18 +211,25 @@ func (p *Publisher) Hook() func(now sim.Time, o *obs.Observer) {
 	return func(now sim.Time, o *obs.Observer) { p.tick(now, o) }
 }
 
-func (p *Publisher) tick(now sim.Time, o *obs.Observer) {
+// Publish is the live-run counterpart of the sampler Hook: feed closed
+// windows, rebuild the snapshot, broadcast. Callers must serialize
+// their calls (the live driver publishes from a single ticker
+// goroutine), and src must be safe to read concurrently with the run's
+// workers — the Hook path gets both for free from simulation context.
+func (p *Publisher) Publish(now sim.Time, src Source) { p.tick(now, src) }
+
+func (p *Publisher) tick(now sim.Time, src Source) {
 	// One publisher can serve a sequence of runs (a looping daemon, a
 	// suite sweep): each run attaches its own observer, so a new
-	// observer pointer marks a run boundary and restarts the window
+	// source identity marks a run boundary and restarts the window
 	// feed. Runs must tick sequentially, never interleaved.
-	if o != p.lastRun {
+	if src != p.lastRun {
 		if p.lastRun != nil {
 			p.Reset()
 		}
-		p.lastRun = o
+		p.lastRun = src
 	}
-	wins := o.LiveWindows()
+	wins := src.LiveWindows()
 	var events []event
 
 	// Feed windows whose end has passed: their ops/blocks/durations are
@@ -232,20 +250,21 @@ func (p *Publisher) tick(now sim.Time, o *obs.Observer) {
 		p.fed++
 	}
 
-	p.publish(p.buildSnapshot(now, o))
+	p.publish(p.buildSnapshot(now, src))
 	p.broadcast(events)
 }
 
 // buildSnapshot assembles one immutable snapshot. Runs in simulation
-// context, so registry reads are unsynchronized single-thread reads.
-func (p *Publisher) buildSnapshot(now sim.Time, o *obs.Observer) *Snapshot {
+// context (or the live driver's single ticker goroutine), so registry
+// reads need no extra synchronization beyond the counters' own atomics.
+func (p *Publisher) buildSnapshot(now sim.Time, src Source) *Snapshot {
 	s := &Snapshot{
 		Label:   p.label,
 		NowS:    now.Seconds(),
-		WindowS: o.WindowEvery().Seconds(),
+		WindowS: src.WindowEvery().Seconds(),
 		Closed:  p.fed,
 	}
-	for i, w := range o.LiveWindows() {
+	for i, w := range src.LiveWindows() {
 		s.Windows = append(s.Windows, windowJSON(i, w))
 	}
 	for _, fs := range p.tracker.Series() {
@@ -261,7 +280,7 @@ func (p *Publisher) buildSnapshot(now sim.Time, o *obs.Observer) *Snapshot {
 	for _, a := range p.tracker.Alerts() {
 		s.Alerts = append(s.Alerts, alertJSON(a))
 	}
-	reg := o.Registry()
+	reg := src.Registry()
 	for _, c := range reg.Counters() {
 		s.Metrics = append(s.Metrics, MetricJSON{Name: c.Name(), Kind: "counter", Value: float64(c.Value())})
 	}

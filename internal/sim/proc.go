@@ -20,6 +20,12 @@ type Proc struct {
 	resume  chan bool // true = killed by Shutdown
 	started bool
 	ctx     any // current request context (see SetCtx)
+
+	// live is non-nil for a detached live-measurement process (see
+	// LiveExec): the proc runs on an ordinary goroutine against a
+	// pluggable clock instead of a domain's event loop. All event-loop
+	// facilities (Spawn, At, futures) are unavailable in that mode.
+	live *liveState
 }
 
 // killed is the sentinel panic value that unwinds a process during
@@ -33,8 +39,13 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Name() string { return p.name }
 
 // DomainID returns the id of the domain the process belongs to (0 on a
-// classic engine).
-func (p *Proc) DomainID() int { return p.dom.id }
+// classic engine and for detached live processes).
+func (p *Proc) DomainID() int {
+	if p.live != nil {
+		return 0
+	}
+	return p.dom.id
+}
 
 // Ctx returns the process's current request context (nil when idle).
 // Layers install the in-flight request here so components lower in the
@@ -48,26 +59,53 @@ func (p *Proc) Ctx() any { return p.ctx }
 // requests unwind correctly.
 func (p *Proc) SetCtx(v any) { p.ctx = v }
 
-// Now returns the current simulated time of the process's domain.
-func (p *Proc) Now() Time { return p.dom.now }
+// Now returns the current time of the process's domain — simulated time
+// for an engine-driven process, the live clock's time for a detached one.
+func (p *Proc) Now() Time {
+	if p.live != nil {
+		return p.live.clock.Now()
+	}
+	return p.dom.now
+}
 
 // Rand returns the deterministic random source of the process's domain.
 // Runtime code must draw randomness through here (not Engine.Rand) so
 // that a domain's random stream stays independent of other domains.
-func (p *Proc) Rand() *rand.Rand { return p.dom.Rand() }
+// Detached live processes own a private RNG, so concurrent workers never
+// share one stream.
+func (p *Proc) Rand() *rand.Rand {
+	if p.live != nil {
+		return p.live.rng
+	}
+	return p.dom.Rand()
+}
 
 // NextRequestID returns a fresh request identifier from the process's
-// domain (see Engine.NextRequestID).
-func (p *Proc) NextRequestID() uint64 { return p.dom.nextRequestID() }
+// domain (see Engine.NextRequestID). Detached live processes draw from
+// their LiveExec's atomic counter.
+func (p *Proc) NextRequestID() uint64 {
+	if p.live != nil {
+		return p.live.exec.ids.Add(1)
+	}
+	return p.dom.nextRequestID()
+}
 
 // NewFuture returns an incomplete Future bound to the process's domain.
-func (p *Proc) NewFuture() *Future { return &Future{dom: p.dom} }
+func (p *Proc) NewFuture() *Future {
+	if p.live != nil {
+		panic("sim: futures are not available on a detached live proc")
+	}
+	return &Future{dom: p.dom}
+}
 
 // Spawn creates a process in the caller's domain that begins executing
 // body at the caller's current simulated time. Runtime code must spawn
 // through here (not Engine.Spawn, whose cursor is a construction-time
 // concept).
 func (p *Proc) Spawn(name string, body func(*Proc)) *Proc {
+	if p.live != nil {
+		panic("sim: Spawn is not available on a detached live proc")
+	}
 	return p.dom.spawn(p.dom.now, name, body, false)
 }
 
@@ -151,16 +189,32 @@ func (d *domain) unpark(p *Proc) {
 // domain. It is the process-scoped counterpart of Engine.At: the event
 // runs on p's own calendar, so it is safe (and deterministic) in
 // sharded runs where the engine-level cursor is construction-only.
-func (p *Proc) At(t Time, fn func()) { p.dom.schedule(t, fn, false) }
+func (p *Proc) At(t Time, fn func()) {
+	if p.live != nil {
+		panic("sim: At is not available on a detached live proc")
+	}
+	p.dom.schedule(t, fn, false)
+}
 
 // After schedules fn d nanoseconds from now in p's domain (see At).
-func (p *Proc) After(d Time, fn func()) { p.dom.schedule(p.dom.now+d, fn, false) }
+func (p *Proc) After(d Time, fn func()) {
+	if p.live != nil {
+		panic("sim: After is not available on a detached live proc")
+	}
+	p.dom.schedule(p.dom.now+d, fn, false)
+}
 
 // Sleep suspends the process for d simulated nanoseconds. Zero d yields to
-// other events scheduled at the current time.
+// other events scheduled at the current time. On a detached live proc the
+// call maps onto the live clock's Sleep: real elapsed time under a wall
+// clock, a cursor advance under a virtual one.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
+	}
+	if p.live != nil {
+		p.live.clock.Sleep(d)
+		return
 	}
 	dom := p.dom
 	dom.scheduleWake(dom.now+d, p, false)

@@ -1,0 +1,71 @@
+package bps
+
+import (
+	"reflect"
+	"testing"
+)
+
+func measureAccs() []Access {
+	var accs []Access
+	for pid := int64(0); pid < 2; pid++ {
+		for i := int64(0); i < 8; i++ {
+			accs = append(accs, Access{
+				PID: pid, Slot: int(pid), Off: i * 65536, Size: 65536,
+			})
+		}
+	}
+	return accs
+}
+
+// TestMeasureAccessesMem is the public-API smoke: measure an access
+// stream on the in-memory backend and get a shape-identical RunReport.
+func TestMeasureAccessesMem(t *testing.T) {
+	rep, err := MeasureAccesses(LiveConfig{Seed: 7}, measureAccs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Ops != 16 || rep.Errors != 0 {
+		t.Fatalf("ops %d errors %d", rep.Metrics.Ops, rep.Errors)
+	}
+	if rep.Metrics.BPS() <= 0 {
+		t.Fatalf("BPS = %v", rep.Metrics.BPS())
+	}
+	if len(rep.Records) != 16 {
+		t.Fatalf("%d records", len(rep.Records))
+	}
+	if rep.Attribution == nil || len(rep.Attribution.Windows) == 0 {
+		t.Fatalf("no windowed series: %+v", rep.Attribution)
+	}
+	if rep.Obs != nil {
+		t.Fatalf("live runs must not claim an engine observer")
+	}
+
+	// Default virtual mode is deterministic through the public surface.
+	rep2, err := MeasureAccesses(LiveConfig{Seed: 7}, measureAccs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Metrics, rep2.Metrics) {
+		t.Fatalf("virtual MeasureAccesses not deterministic")
+	}
+}
+
+// TestMeasureAccessesOS measures a real temp directory.
+func TestMeasureAccessesOS(t *testing.T) {
+	rep, err := MeasureAccesses(LiveConfig{Dir: t.TempDir(), Wall: true, Seed: 7}, measureAccs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Ops != 16 || rep.Errors != 0 {
+		t.Fatalf("ops %d errors %d", rep.Metrics.Ops, rep.Errors)
+	}
+	if rep.Metrics.MovedBytes != 16*65536 {
+		t.Fatalf("moved %d bytes, want %d", rep.Metrics.MovedBytes, 16*65536)
+	}
+}
+
+func TestMeasureAccessesEmpty(t *testing.T) {
+	if _, err := MeasureAccesses(LiveConfig{}, nil); err == nil {
+		t.Fatalf("empty stream accepted")
+	}
+}
