@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI pipeline.
 
-.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live qos livefs ci
+.PHONY: all vet staticcheck build test race cover bench bench-all bench-smoke bench-check faults clientcache shardscale attrib live qos livefs suite ci
 
 all: ci
 
@@ -36,7 +36,7 @@ cover:
 # and records them as test2json lines in BENCH_sim.json (the committed
 # perf baseline), then echoes the human-readable Benchmark lines.
 bench:
-	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... ./internal/qos ./cmd/bpsd > BENCH_sim.json
+	BPS_SHARD_BENCH=1 go test -run '^$$' -bench . -benchmem -json -timeout 30m ./internal/sim/... ./internal/qos ./internal/stats ./internal/roofline ./cmd/bpsd > BENCH_sim.json
 	@grep -o '"Output":"[^"]*"' BENCH_sim.json | sed -e 's/^"Output":"//' -e 's/"$$//' \
 		| tr -d '\n' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' | grep -E '^Benchmark.*ns/op'
 
@@ -50,7 +50,7 @@ bench-all:
 # bench-smoke runs each benchmark once — the CI guard that they compile
 # and execute.
 bench-smoke:
-	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/... ./internal/qos ./cmd/bpsd
+	go test -run '^$$' -bench . -benchtime=1x ./internal/sim/... ./internal/qos ./internal/stats ./internal/roofline ./cmd/bpsd
 
 # bench-check is the bench-regression guard: rerun the engine
 # benchmarks and fail if the dispatch hot path regresses more than 20%
@@ -170,4 +170,17 @@ livefs:
 	rm -rf $$dir livefs.out
 	@echo "livefs osfs smoke OK"
 
-ci: vet staticcheck build race bench-smoke live qos livefs
+# suite runs the IO500-style composite at smoke scale: 4 phases × 3
+# seeds with bootstrap CIs and roofline headroom, plus the JSON
+# artifact. Asserts the headroom column and the CI brackets render and
+# that the JSON is well-formed.
+suite:
+	go run ./cmd/bpsbench -fig suite -scale 0.002 -seeds 3 -q -roofline-out suite_smoke.json > suite_smoke.out
+	grep -q 'headroom' suite_smoke.out || { echo "suite: no headroom column"; cat suite_smoke.out; rm -f suite_smoke.out suite_smoke.json; exit 1; }
+	grep -q '95% CI' suite_smoke.out || { echo "suite: no CI columns"; cat suite_smoke.out; rm -f suite_smoke.out suite_smoke.json; exit 1; }
+	grep -q 'Composite' suite_smoke.out || { echo "suite: no composite score"; cat suite_smoke.out; rm -f suite_smoke.out suite_smoke.json; exit 1; }
+	grep -q '"ceiling_bps"' suite_smoke.json || { echo "suite: JSON missing ceilings"; rm -f suite_smoke.out suite_smoke.json; exit 1; }
+	@rm -f suite_smoke.out suite_smoke.json
+	@echo "suite smoke OK"
+
+ci: vet staticcheck build race bench-smoke live qos livefs suite

@@ -8,12 +8,14 @@
 //	benchguard [-baseline BENCH_sim.json] [-fresh file.json] [-threshold 0.20] [-bench BenchmarkEngineEventDispatch]
 //
 // Without -fresh it runs the benchmarks itself (go test -json on
-// ./internal/sim/..., ./internal/qos, and ./cmd/bpsd) and writes their
+// ./internal/sim/..., ./internal/qos, ./internal/stats,
+// ./internal/roofline, and ./cmd/bpsd) and writes their
 // output to BENCH_new.json — never to the baseline file, so the
 // committed numbers stay the reference. -bench may be repeated; the
 // default guards the event-dispatch hot paths, the QoS admission
-// middleware, and the bpsd job-submit handler, since macro benchmarks
-// are too noisy for a shared runner. (The
+// middleware, the bpsd job-submit handler, and the statistics and
+// roofline hot paths (bootstrap resampling, ceiling evaluation), since
+// macro benchmarks are too noisy for a shared runner. (The
 // shard-scaling macro benchmark is env-gated and absent from a fresh
 // run — its numbers live in the baseline for the record, not under the
 // guard.)
@@ -91,7 +93,7 @@ func parseFile(path string) (map[string]float64, error) {
 // runFresh executes the benchmarks and tees the test2json stream to
 // out so a failing run leaves its evidence behind.
 func runFresh(out string) (map[string]float64, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...", "./internal/qos", "./cmd/bpsd")
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-json", "./internal/sim/...", "./internal/qos", "./internal/stats", "./internal/roofline", "./cmd/bpsd")
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -197,6 +199,7 @@ func main() {
 			"BenchmarkEngineEventDispatch", "BenchmarkEngineCalendarDepth100k",
 			"BenchmarkQoSServeDisabled", "BenchmarkQoSServeEnabled", "BenchmarkQoSAdmitThrottled",
 			"BenchmarkJobsSubmit",
+			"BenchmarkBootstrapDist", "BenchmarkRooflineCeiling",
 		}
 	}
 	tolExplicit := false

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache|shardscale|qos|livemem] [-scale 0.015625] [-seed 42] [-parallel N] [-shards N]
+//	bpsbench [-fig all|table1|table2|fig4|...|fig12|faults|clientcache|shardscale|qos|livemem|suite] [-scale 0.015625] [-seed 42] [-parallel N] [-shards N]
 //	bpsbench -faults [-fault-rates 0,0.004,0.016]
 //	bpsbench -fig clientcache
 //	bpsbench -fig livemem
+//	bpsbench -fig suite [-seeds 5] [-roofline-out suite.json]
 //	bpsbench -backend mem [-live-procs 4] [-live-mb 64] [-live-record 1048576]
 //	bpsbench -backend os -dir /data/bench -wall [-direct] [-windows 0.01] [-windows-out w.csv]
 //
@@ -42,19 +43,21 @@ import (
 	"bps/internal/obs/forecast"
 	"bps/internal/obs/serve"
 	"bps/internal/report"
+	"bps/internal/roofline"
 	"bps/internal/sim"
 	"bps/internal/workload"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, clientcache, shardscale, or qos")
+	fig := flag.String("fig", "all", "what to reproduce: all, table1, table2, fig4..fig12, ext1..ext3, faults, clientcache, shardscale, qos, livemem, or suite")
 	scale := flag.Float64("scale", 1.0/64, "fraction of the paper's data sizes (1.0 = full scale)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep runs (results are identical for any value)")
 	shards := flag.Int("shards", 0, "engine shard workers per run: 0 = classic single-calendar engine, N = sharded engine with N workers, -1 = GOMAXPROCS; the shardscale figure is always sharded and defaults to GOMAXPROCS")
 	quiet := flag.Bool("q", false, "suppress timing chatter")
 	asCSV := flag.Bool("csv", false, "emit per-run rows (and cc rows) as CSV instead of tables")
-	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges")
+	seeds := flag.Int("seeds", 0, "robustness mode: rerun the figure under N seeds and report CC ranges; for -fig suite, the number of seeds per phase (default 5)")
+	rooflineOut := flag.String("roofline-out", "", "with -fig suite: write the suite report (per-phase CC distributions, ceilings, headroom) as JSON here")
 	traceOut := flag.String("trace-out", "", "write the last reproduced run as Chrome trace-event JSON here")
 	metricsOut := flag.String("metrics-out", "", "write the last reproduced run's per-layer metrics as CSV here")
 	faultsFig := flag.Bool("faults", false, "shortcut for -fig faults: the BPS-under-degradation FaultSweep")
@@ -132,6 +135,22 @@ func main() {
 	}
 	params := experiments.Params{Scale: *scale, Seed: *seed, Parallel: *parallel, FaultRates: rates, Shards: *shards}
 
+	if *fig == experiments.SuiteFigureID {
+		nseeds := *seeds
+		if nseeds == 0 {
+			nseeds = 5
+		}
+		if err := runSuiteFig(os.Stdout, params, nseeds, *rooflineOut, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "bpsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *rooflineOut != "" {
+		fmt.Fprintln(os.Stderr, "bpsbench: -roofline-out needs -fig suite (the suite computes the roofline fits)")
+		os.Exit(1)
+	}
+
 	if *seeds > 0 {
 		r, err := experiments.RunRobustness(params, *fig, *seeds)
 		if err != nil {
@@ -176,6 +195,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSuiteFig reproduces the IO500-style composite: the suite sweep
+// under nseeds seeds, the statistical report with bootstrap CIs and
+// roofline headroom, and optionally the JSON artifact.
+func runSuiteFig(w io.Writer, params experiments.Params, nseeds int, rooflineOut string, quiet bool) error {
+	t0 := time.Now()
+	rep, err := experiments.RunSuite(params, nseeds)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "[suite reproduced under %d seeds in %v]\n", nseeds, time.Since(t0).Round(time.Millisecond))
+	}
+	report.WriteSuite(w, rep)
+	if rooflineOut != "" {
+		f, err := os.Create(rooflineOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteSuiteJSON(f, rep); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", rooflineOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote suite roofline report to %s]\n", rooflineOut)
+	}
+	return nil
 }
 
 // liveOpts collects the -backend os|mem knobs.
@@ -243,8 +292,22 @@ func runLive(w io.Writer, o liveOpts) error {
 		Seed:        o.seed,
 		Label:       "bpsbench -backend " + o.backend,
 	}
+	// The virtual clock charges exactly the cost model, so its roofline
+	// is the model itself; a wall-clock run is bounded by real hardware
+	// the model does not describe, so no ceiling is claimed there.
+	var ceiling float64
+	if mode == live.Virtual {
+		m := roofline.Model{
+			DeviceBytesPerSec: cfg.Cost.BytesPerSec,
+			DevicePerOp:       cfg.Cost.PerOp,
+			Servers:           1,
+			Clients:           1,
+		}
+		ceiling = m.CeilingBPS(o.record, o.procs, 0)
+	}
 	if o.serveAddr != "" {
 		pub := serve.NewPublisher(cfg.Label, forecast.Config{})
+		pub.SetRoofline(ceiling)
 		srv, err := serve.Start(o.serveAddr, pub)
 		if err != nil {
 			return err
@@ -274,6 +337,10 @@ func runLive(w io.Writer, o liveOpts) error {
 	fmt.Fprintf(w, "  bandwidth:           %.2f MB/s\n", m.Bandwidth()/1e6)
 	fmt.Fprintf(w, "  ARPT:                %.6f s\n", m.ARPT())
 	fmt.Fprintf(w, "  BPS:                 %.2f blocks/s\n", m.BPS())
+	if ceiling > 0 {
+		fmt.Fprintf(w, "  roofline ceiling:    %.2f blocks/s (headroom %.1f%%)\n",
+			ceiling, 100*roofline.Headroom(m.BPS(), ceiling))
+	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(w, "  (%d accesses failed)\n", rep.Errors)
 	}

@@ -7,6 +7,7 @@
 //	/metrics   Prometheus text exposition (registry + latest window + forecasts)
 //	/windows   JSON window series (BPS, bandwidth, IOPS, ARPT, utilization)
 //	/forecast  JSON per-series forecasts, model selection, and burst alerts
+//	/roofline  JSON live headroom against the workload's analytic BPS ceiling
 //	/stream    Server-Sent Events: windows and alerts as they close
 //
 // Serving is timing-neutral: the exported snapshots are built on sampler
@@ -182,6 +183,16 @@ func run(w io.Writer, logs []string, opts options) error {
 
 	pub := serve.NewPublisher(label, forecast.Config{BurstK: opts.burstK})
 
+	// The synthetic workload has one record size and process count, so
+	// its analytic BPS ceiling is well-defined; /roofline then serves
+	// live headroom against it. A log replay mixes request sizes, so no
+	// ceiling is claimed there.
+	var ceiling float64
+	if ioLog == nil {
+		ceiling = bps.RooflineCeiling(storage, opts.record, opts.procs)
+		pub.SetRoofline(ceiling)
+	}
+
 	hook := pub.Hook()
 	tick := hook
 	if opts.pace > 0 {
@@ -209,7 +220,7 @@ func run(w io.Writer, logs []string, opts options) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(w, "bpsd: serving %s on http://%s (/metrics /windows /forecast /stream)\n", label, srv.Addr())
+	fmt.Fprintf(w, "bpsd: serving %s on http://%s (/metrics /windows /forecast /roofline /stream)\n", label, srv.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -228,6 +239,10 @@ func run(w io.Writer, logs []string, opts options) error {
 		fmt.Fprintf(w, "bpsd: run %d done: B=%d T=%.6fs BPS=%.2f blk/s IOPS=%.2f BW=%.2f MB/s alerts=%d\n",
 			iter, m.Blocks, m.IOTime.Seconds(), m.BPS(), m.IOPS(), m.Bandwidth()/1e6,
 			len(pub.Tracker().Alerts()))
+		if ceiling > 0 {
+			fmt.Fprintf(w, "bpsd: run %d roofline: ceiling %.2f blk/s, headroom %.1f%%\n",
+				iter, ceiling, 100*bps.Headroom(m.BPS(), ceiling))
+		}
 		if !opts.loop {
 			break
 		}

@@ -88,6 +88,11 @@ type Point struct {
 	// Blame names the run's dominant bottleneck layer per the
 	// critical-path profiler; "" unless the sweep ran with attribution.
 	Blame string
+
+	// Headroom is the run's measured BPS as a fraction of the analytic
+	// roofline ceiling (internal/roofline); 0 unless the sweep computed
+	// a ceiling (the suite figure does).
+	Headroom float64
 }
 
 // Figure is the reproduction of one paper figure.

@@ -1,14 +1,13 @@
 package experiments
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"bps/internal/sim"
+	"bps/internal/stats"
 	"bps/internal/workload"
 )
 
@@ -44,16 +43,11 @@ type runSpec struct {
 // function of (base seed, sweep ID, point label). Reordering a sweep,
 // inserting new points, or running points concurrently can therefore
 // never change an existing run's result — the fragility of deriving
-// seeds from loop-iteration order is structurally gone.
+// seeds from loop-iteration order is structurally gone. The derivation
+// itself is stats.DeriveSeed, shared with the bootstrap PRNG seeding,
+// so one pinned-golden test covers every consumer.
 func DeriveSeed(base int64, sweepID, label string) int64 {
-	h := fnv.New64a()
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(base))
-	h.Write(b[:])
-	h.Write([]byte(sweepID))
-	h.Write([]byte{0}) // unambiguous (sweepID, label) framing
-	h.Write([]byte(label))
-	return int64(h.Sum64())
+	return stats.DeriveSeed(base, sweepID, label)
 }
 
 // ForEach runs job(i) for every i in [0, n) across at most workers

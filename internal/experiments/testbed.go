@@ -29,6 +29,10 @@ func newSharedFileEnv(e *sim.Engine, spec clusterSpec, fileSize int64) (*workloa
 	return testbed.NewSharedFileEnv(e, spec, fileSize)
 }
 
+func newMetaFilesEnv(e *sim.Engine, spec clusterSpec, filesPerProc int, fileSize int64) (*workload.ClusterEnv, error) {
+	return testbed.NewMetaFilesEnv(e, spec, filesPerProc, fileSize)
+}
+
 func newPinnedFilesEnv(e *sim.Engine, spec clusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {
 	if spec.Clients > spec.Servers {
 		return nil, fmt.Errorf("experiments: pure-concurrency env needs a server per client (%d > %d)",

@@ -108,6 +108,7 @@ type Collector struct {
 	spans  [][]interval // indexed by StackOrder position
 	counts []int
 	apps   []interval
+	blocks int64
 	est    *WindowEstimator
 
 	report *Report
@@ -155,6 +156,16 @@ func (c *Collector) AddAccess(blocks int64, start, end sim.Time) {
 	c.est.Add(blocks, start, end)
 }
 
+// AddBlocks accumulates the run's required blocks (the BPS numerator B)
+// alongside the application intervals, so the report can state the
+// run's own BPS — Blocks over Total — next to the per-layer blame.
+func (c *Collector) AddBlocks(blocks int64) {
+	if c == nil {
+		return
+	}
+	c.blocks += blocks
+}
+
 // LayerTime is one layer's share of the attribution report.
 type LayerTime struct {
 	Layer string
@@ -191,6 +202,18 @@ type Report struct {
 	// denominator of BPS.
 	Total sim.Time
 
+	// Blocks is B: the required 512-byte blocks accumulated via
+	// AddBlocks (0 when the feeder does not track blocks).
+	Blocks int64
+
+	// CeilingBPS is the analytic roofline ceiling of the observed
+	// configuration, set by the caller that knows the testbed
+	// parameters (internal/roofline); 0 when no model applies. It
+	// exists so the blame table can print headroom — how much of the
+	// achievable roof the run's BPS reached — next to where the lost
+	// time went.
+	CeilingBPS float64
+
 	// Layers holds one entry per StackOrder layer plus a final
 	// LayerClient entry, in that order.
 	Layers []LayerTime
@@ -217,6 +240,25 @@ type LatencyRow struct {
 	P95   int64
 	P99   int64
 	Max   int64
+}
+
+// BPS returns the report's own blocks-per-second — Blocks over Total —
+// or 0 when either is unknown. Both come from the same application
+// records core.Compute consumes, so this equals the post-hoc metric
+// exactly.
+func (r *Report) BPS() float64 {
+	if r == nil || r.Total <= 0 || r.Blocks <= 0 {
+		return 0
+	}
+	return float64(r.Blocks) / r.Total.Seconds()
+}
+
+// Headroom returns BPS()/CeilingBPS, or 0 when no ceiling was set.
+func (r *Report) Headroom() float64 {
+	if r == nil || r.CeilingBPS <= 0 {
+		return 0
+	}
+	return r.BPS() / r.CeilingBPS
 }
 
 // ExclusiveSum returns the sum of the per-layer exclusive times; by
@@ -273,7 +315,7 @@ func (c *Collector) Report() *Report {
 	if c.report != nil {
 		return c.report
 	}
-	rep := &Report{}
+	rep := &Report{Blocks: c.blocks}
 	if c.spans != nil {
 		c.sweep(rep)
 	}

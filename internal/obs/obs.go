@@ -282,6 +282,7 @@ func (o *Observer) AddAppRecord(pid, blocks int64, start, end sim.Time) {
 	}
 	if o.attrib != nil {
 		o.attrib.AddApp(start, end)
+		o.attrib.AddBlocks(blocks)
 	}
 	if o.buf != nil {
 		o.buf.AppSpan(pid, blocks, start, end)

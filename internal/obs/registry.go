@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync/atomic"
+
+	"bps/internal/stats"
 )
 
 // Registry holds a run's metrics, keyed by slash-separated names with
@@ -337,22 +339,16 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// upper bound of the first bucket whose cumulative count reaches
-// q·Count. Resolution is one power of two.
+// upper bound of the first bucket whose cumulative count reaches the
+// nearest rank (the same nearest-rank convention stats.LatencyDist and
+// the bootstrap summaries use, via stats.NearestRankIndex). Resolution
+// is one power of two.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil || h.Count() == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	} else if q > 1 {
-		q = 1
-	}
 	max := h.max.Load()
-	target := uint64(math.Ceil(q * float64(h.Count())))
-	if target == 0 {
-		target = 1
-	}
+	target := uint64(stats.NearestRankIndex(int(h.Count()), q)) + 1
 	var cum uint64
 	for i := 0; i < HistBuckets; i++ {
 		cum += h.buckets[i].Load()

@@ -95,6 +95,20 @@ func alertJSON(a forecast.Alert) AlertJSON {
 	return AlertJSON{Series: a.Series, Window: a.Window, Kind: a.Kind.String(), Value: a.Value, Limit: a.Limit}
 }
 
+// RooflineJSON is the run's roofline position in wire form: the
+// analytic ceiling the caller installed with SetRoofline, and the
+// measured BPS so far. Blocks and busy time are exact int64/duration
+// sums over the window series, so the measured BPS here equals the
+// post-hoc metric (B/T) once the run completes — the live endpoint and
+// the printed report can never disagree.
+type RooflineJSON struct {
+	CeilingBPS  float64 `json:"ceiling_bps"`
+	MeasuredBPS float64 `json:"measured_bps"`
+	Headroom    float64 `json:"headroom"` // MeasuredBPS / CeilingBPS
+	Blocks      int64   `json:"blocks"`
+	BusyS       float64 `json:"busy_s"`
+}
+
 // MetricJSON is one scalar registry metric in wire form.
 type MetricJSON struct {
 	Name  string  `json:"name"`
@@ -125,6 +139,10 @@ type Snapshot struct {
 	Alerts  []AlertJSON  `json:"alerts"`
 	Metrics []MetricJSON `json:"metrics"`
 	Hists   []HistJSON   `json:"histograms"`
+
+	// Roofline is present only when the caller installed a ceiling via
+	// SetRoofline; runs without a model publish the historical shape.
+	Roofline *RooflineJSON `json:"roofline,omitempty"`
 }
 
 // event is one SSE broadcast.
@@ -154,6 +172,8 @@ type Publisher struct {
 
 	fed     int    // windows already fed to the tracker
 	lastRun Source // source of the run currently ticking
+
+	ceilingBPS float64 // roofline ceiling; 0 disables the roofline view
 
 	mu   sync.RWMutex
 	snap *Snapshot
@@ -202,6 +222,12 @@ func (p *Publisher) Reset() {
 // Tracker returns the publisher's forecast tracker (final state is
 // valid after the run for post-hoc reporting).
 func (p *Publisher) Tracker() *forecast.Tracker { return p.tracker }
+
+// SetRoofline installs the analytic BPS ceiling (blocks/s) the run is
+// measured against; snapshots then carry a Roofline view and /metrics
+// exports bps_roofline_* gauges. Zero or negative disables it. Call it
+// before the run starts ticking — like Reset, never mid-run.
+func (p *Publisher) SetRoofline(ceilingBPS float64) { p.ceilingBPS = ceilingBPS }
 
 // Hook returns the function to install as obs.Options.Tick. It runs in
 // simulation context on every sampler pass: feeds windows that have
@@ -264,8 +290,23 @@ func (p *Publisher) buildSnapshot(now sim.Time, src Source) *Snapshot {
 		WindowS: src.WindowEvery().Seconds(),
 		Closed:  p.fed,
 	}
+	var blocks int64
+	var busy sim.Time
 	for i, w := range src.LiveWindows() {
 		s.Windows = append(s.Windows, windowJSON(i, w))
+		blocks += w.Blocks
+		busy += w.Busy
+	}
+	if p.ceilingBPS > 0 {
+		// Sum in int64/sim.Time, divide once: the windows partition the
+		// run's completions, so measured BPS here is exactly the core
+		// metric B/T the post-hoc report prints.
+		r := &RooflineJSON{CeilingBPS: p.ceilingBPS, Blocks: blocks, BusyS: busy.Seconds()}
+		if busy > 0 {
+			r.MeasuredBPS = float64(blocks) / busy.Seconds()
+			r.Headroom = r.MeasuredBPS / r.CeilingBPS
+		}
+		s.Roofline = r
 	}
 	for _, fs := range p.tracker.Series() {
 		sj := SeriesJSON{Name: fs.Name(), Model: fs.Last().Model.String(), MAE: fs.MAE()}
@@ -377,6 +418,7 @@ func (p *Publisher) Handler() http.Handler {
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/windows", p.handleWindows)
 	mux.HandleFunc("/forecast", p.handleForecast)
+	mux.HandleFunc("/roofline", p.handleRoofline)
 	mux.HandleFunc("/stream", p.handleStream)
 	mux.HandleFunc("/healthz", p.handleHealthz)
 	mux.HandleFunc("/", p.handleIndex)
@@ -415,7 +457,7 @@ func (p *Publisher) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "bps live observability (%s)\nendpoints: /metrics /windows /forecast /stream\n", p.label)
+	fmt.Fprintf(w, "bps live observability (%s)\nendpoints: /metrics /windows /forecast /roofline /stream\n", p.label)
 }
 
 // promName sanitizes a registry metric name into a legal Prometheus
@@ -484,6 +526,13 @@ func writeProm(w io.Writer, s *Snapshot) {
 		fmt.Fprintf(w, "# TYPE bps_forecast_next gauge\nbps_forecast_next{series=%q,model=%q} %g\n",
 			fs.Name, last.Model, last.Forecast)
 	}
+	if r := s.Roofline; r != nil {
+		fmt.Fprintf(w, "# HELP bps_roofline_ceiling_bps Analytic BPS ceiling for this run.\n")
+		fmt.Fprintf(w, "# TYPE bps_roofline_ceiling_bps gauge\nbps_roofline_ceiling_bps %g\n", r.CeilingBPS)
+		fmt.Fprintf(w, "# HELP bps_roofline_headroom Measured BPS as a fraction of the ceiling.\n")
+		fmt.Fprintf(w, "# TYPE bps_roofline_headroom gauge\nbps_roofline_headroom %g\n", r.Headroom)
+		fmt.Fprintf(w, "# TYPE bps_roofline_measured_bps gauge\nbps_roofline_measured_bps %g\n", r.MeasuredBPS)
+	}
 	fmt.Fprintf(w, "# TYPE bps_alerts_total counter\nbps_alerts_total %d\n", len(s.Alerts))
 }
 
@@ -516,6 +565,23 @@ func (p *Publisher) handleForecast(w http.ResponseWriter, r *http.Request) {
 		Series []SeriesJSON `json:"series"`
 		Alerts []AlertJSON  `json:"alerts"`
 	}{s.Label, s.NowS, s.Series, s.Alerts})
+}
+
+// handleRoofline serves the run's roofline position. Without an
+// installed ceiling (or before the first tick) it serves {} so probes
+// can distinguish "no model" from an error.
+func (p *Publisher) handleRoofline(w http.ResponseWriter, r *http.Request) {
+	s := p.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if s == nil || s.Roofline == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Label string  `json:"label"`
+		NowS  float64 `json:"now_s"`
+		*RooflineJSON
+	}{s.Label, s.NowS, s.Roofline})
 }
 
 // handleStream serves SSE: a "snapshot" event with the current state,

@@ -470,3 +470,86 @@ func TestServerShutdownDrains(t *testing.T) {
 		t.Fatal("listener still accepting after shutdown")
 	}
 }
+
+// TestRooflineEndpoint pins the live/post-hoc agreement contract: with
+// a ceiling installed, /roofline serves exactly the measured BPS the
+// post-hoc metrics compute from the finished run — the window series'
+// block and busy sums are exact, so the two can never disagree — and
+// /metrics exports the roofline gauges.
+func TestRooflineEndpoint(t *testing.T) {
+	const ceiling = 250000.0
+	pub := NewPublisher("roof", forecast.Config{})
+	pub.SetRoofline(ceiling)
+	rep := mustRun(t, pub.Hook())
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/roofline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got RooflineJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("/roofline: %v", err)
+	}
+	if got.CeilingBPS != ceiling {
+		t.Errorf("ceiling %v, want %v", got.CeilingBPS, ceiling)
+	}
+	wantBPS := rep.Metrics.BPS()
+	if wantBPS <= 0 {
+		t.Fatalf("run measured no BPS: %v", wantBPS)
+	}
+	if got.MeasuredBPS != wantBPS {
+		t.Errorf("live measured BPS %v != post-hoc BPS %v (must be exact)", got.MeasuredBPS, wantBPS)
+	}
+	if want := wantBPS / ceiling; got.Headroom != want {
+		t.Errorf("headroom %v, want %v", got.Headroom, want)
+	}
+	if got.Blocks <= 0 || got.BusyS <= 0 {
+		t.Errorf("blocks=%d busy=%v: want positive sums", got.Blocks, got.BusyS)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"bps_roofline_ceiling_bps 250000", "bps_roofline_headroom ", "bps_roofline_measured_bps "} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestRooflineAbsentByDefault checks a publisher without a ceiling
+// publishes the historical snapshot shape: no Roofline view, an empty
+// /roofline object, and no bps_roofline_* gauges.
+func TestRooflineAbsentByDefault(t *testing.T) {
+	pub := NewPublisher("noroof", forecast.Config{})
+	mustRun(t, pub.Hook())
+	if s := pub.Snapshot(); s == nil || s.Roofline != nil {
+		t.Fatalf("snapshot roofline = %+v, want absent", s.Roofline)
+	}
+	ts := httptest.NewServer(pub.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/roofline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.TrimSpace(string(body)) != "{}" {
+		t.Errorf("/roofline = %q, want {}", body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	if strings.Contains(string(mbody), "bps_roofline") {
+		t.Error("/metrics exports roofline gauges without a ceiling")
+	}
+}

@@ -32,15 +32,33 @@ func WriteFigure(w io.Writer, f experiments.Figure) {
 	fmt.Fprintln(w)
 }
 
-// writeRuns prints the per-run measurements of a sweep.
+// writeRuns prints the per-run measurements of a sweep. A headroom
+// column appears only when at least one point carries a roofline
+// headroom, so figures without a model keep their exact historical
+// layout (the attrib and livemem goldens pin it).
 func writeRuns(w io.Writer, f experiments.Figure) {
-	fmt.Fprintf(w, "  %-12s %12s %12s %10s %14s %12s %12s %16s\n",
+	headroom := false
+	for _, pt := range f.Points {
+		if pt.Headroom > 0 {
+			headroom = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "  %-12s %12s %12s %10s %14s %12s %12s %16s",
 		f.XLabel, "exec(s)", "T(s)", "ops", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS(blk/s)")
+	if headroom {
+		fmt.Fprintf(w, " %10s", "headroom")
+	}
+	fmt.Fprintln(w)
 	for _, pt := range f.Points {
 		m := pt.Metrics
-		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %14.1f %12.2f %12.4f %16.0f\n",
+		fmt.Fprintf(w, "  %-12s %12.4f %12.4f %10d %14.1f %12.2f %12.4f %16.0f",
 			pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops,
 			m.IOPS(), m.Bandwidth()/1e6, m.ARPT()*1e3, m.BPS())
+		if headroom {
+			fmt.Fprintf(w, " %9.1f%%", 100*pt.Headroom)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bps/internal/core"
+	"bps/internal/experiments"
+	"bps/internal/stats"
+)
+
+// WriteSuite renders the IO500-style composite: per-phase run tables
+// with roofline ceilings and headroom, CC distributions across seeds
+// with bootstrap confidence intervals, and the composite score.
+// Deterministic for equal reports.
+func WriteSuite(w io.Writer, rep experiments.SuiteReport) {
+	fmt.Fprintf(w, "Suite — IO500-style composite, %d phases × %d seeds (bootstrap %.0f%% CIs, %d resamples)\n",
+		len(rep.Phases), rep.Seeds, 100*rep.Composite.Confidence, rep.Composite.Resamples)
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(w, "\nPhase %s — base-seed runs:\n", ph.Name)
+		fmt.Fprintf(w, "  %-8s %12s %12s %10s %16s %16s %10s\n",
+			"procs", "exec(s)", "T(s)", "ops", "BPS(blk/s)", "ceiling(blk/s)", "headroom")
+		for i, pt := range ph.Points {
+			m := pt.Metrics
+			fmt.Fprintf(w, "  %-8s %12.4f %12.4f %10d %16.0f %16.0f %9.1f%%\n",
+				pt.Label, m.ExecTime.Seconds(), m.IOTime.Seconds(), m.Ops,
+				m.BPS(), ph.CeilingBPS[i], 100*pt.Headroom)
+		}
+		fmt.Fprintf(w, "  normalized CC across seeds (Pearson | Spearman):\n")
+		fmt.Fprintf(w, "    %-6s %8s %22s %8s %8s %8s %22s\n",
+			"metric", "mean", "95% CI", "median", "IQR", "rk mean", "rk 95% CI")
+		for _, k := range core.Kinds {
+			cc, rk := ph.CC[k], ph.RankCC[k]
+			fmt.Fprintf(w, "    %-6s %+8.3f %22s %+8.3f %8.3f %+8.3f %22s\n",
+				k, cc.Mean, ciString(cc), cc.Median, cc.IQR(), rk.Mean, ciString(rk))
+		}
+		fmt.Fprintf(w, "  headroom across %d runs: mean %.1f%% %s  median %.1f%%  range [%.1f%%, %.1f%%]\n",
+			ph.Headroom.N, 100*ph.Headroom.Mean, ciPctString(ph.Headroom),
+			100*ph.Headroom.Median, 100*ph.Headroom.Min, 100*ph.Headroom.Max)
+	}
+	c := rep.Composite
+	fmt.Fprintf(w, "\nComposite (geomean of phase mean BPS): %.0f blk/s, 95%% CI [%.0f, %.0f], range [%.0f, %.0f] over %d seeds\n\n",
+		c.Mean, c.CILo, c.CIHi, c.Min, c.Max, c.N)
+}
+
+// ciString renders a Dist's confidence interval.
+func ciString(d stats.Dist) string {
+	return fmt.Sprintf("[%+.3f, %+.3f]", d.CILo, d.CIHi)
+}
+
+// ciPctString renders a Dist's confidence interval as percentages.
+func ciPctString(d stats.Dist) string {
+	return fmt.Sprintf("CI [%.1f%%, %.1f%%]", 100*d.CILo, 100*d.CIHi)
+}
+
+// suiteJSON is the machine-readable shape of -roofline-out.
+type suiteJSON struct {
+	Seeds     int              `json:"seeds"`
+	Phases    []suitePhaseJSON `json:"phases"`
+	Composite stats.Dist       `json:"composite"`
+}
+
+type suitePhaseJSON struct {
+	Name     string                `json:"name"`
+	Points   []suitePointJSON      `json:"points"`
+	CC       map[string]stats.Dist `json:"cc"`
+	RankCC   map[string]stats.Dist `json:"rank_cc"`
+	Headroom stats.Dist            `json:"headroom"`
+}
+
+type suitePointJSON struct {
+	Label      string  `json:"label"`
+	BPS        float64 `json:"bps"`
+	CeilingBPS float64 `json:"ceiling_bps"`
+	Headroom   float64 `json:"headroom"`
+	ExecS      float64 `json:"exec_s"`
+}
+
+// WriteSuiteJSON emits the suite report as indented JSON — the
+// -roofline-out artifact that downstream tooling (dashboards, CI
+// trend lines) consumes instead of scraping the text tables.
+func WriteSuiteJSON(w io.Writer, rep experiments.SuiteReport) error {
+	out := suiteJSON{Seeds: rep.Seeds, Composite: rep.Composite}
+	for _, ph := range rep.Phases {
+		pj := suitePhaseJSON{
+			Name:     ph.Name,
+			CC:       make(map[string]stats.Dist, len(ph.CC)),
+			RankCC:   make(map[string]stats.Dist, len(ph.RankCC)),
+			Headroom: ph.Headroom,
+		}
+		for k, d := range ph.CC {
+			pj.CC[k.String()] = d
+		}
+		for k, d := range ph.RankCC {
+			pj.RankCC[k.String()] = d
+		}
+		for i, pt := range ph.Points {
+			pj.Points = append(pj.Points, suitePointJSON{
+				Label:      pt.Label,
+				BPS:        pt.Metrics.BPS(),
+				CeilingBPS: ph.CeilingBPS[i],
+				Headroom:   pt.Headroom,
+				ExecS:      pt.Metrics.ExecTime.Seconds(),
+			})
+		}
+		out.Phases = append(out.Phases, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

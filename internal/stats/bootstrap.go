@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// This file is the statistical layer under the suite figure: a
+// seed-deterministic bootstrap that turns a small sample (one CC value
+// per seed, one headroom value per run) into a distribution summary
+// with confidence bounds. Everything here is a pure function of its
+// inputs — the resampling PRNG is seeded by the same FNV-1a derivation
+// the experiment runner uses for engine seeds, so bootstrap CIs are
+// bit-identical no matter how many workers produced the sample or in
+// which order the summaries are computed.
+
+// DeriveSeed returns a child seed as a pure function of (base seed,
+// scope, label): FNV-1a over the little-endian base followed by the
+// NUL-framed identifiers. It is the canonical derivation the whole
+// repository uses — experiments.DeriveSeed delegates here, and the
+// bootstrap seeds its resampling PRNG the same way — so a pinned seed
+// in one subsystem pins them all.
+func DeriveSeed(base int64, scope, label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(scope))
+	h.Write([]byte{0}) // unambiguous (scope, label) framing
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+// splitmix64 is the bootstrap's deterministic PRNG: tiny, allocation
+// free, and — unlike math/rand sources — guaranteed stable across Go
+// releases, which the pinned-CI golden tests rely on.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n) by rejection, avoiding the
+// modulo bias a plain remainder would add to small samples.
+func (s *splitmix64) intn(n int) int {
+	bound := uint64(n)
+	threshold := -bound % bound // 2^64 mod n
+	for {
+		v := s.next()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// BootstrapConfig parameterizes NewDist. The zero value means 1000
+// resamples at 95% confidence with seed 0 — every field has a
+// documented default so call sites only set what they mean.
+type BootstrapConfig struct {
+	// Resamples is the number of bootstrap resamples (default 1000).
+	Resamples int
+
+	// Confidence is the two-sided CI level in (0, 1) (default 0.95).
+	Confidence float64
+
+	// Seed drives the resampling PRNG. Derive it with DeriveSeed from
+	// stable identifiers, never from execution order, and equal inputs
+	// give bit-identical Dists under any parallelism.
+	Seed int64
+}
+
+func (c BootstrapConfig) withDefaults() BootstrapConfig {
+	if c.Resamples <= 0 {
+		c.Resamples = 1000
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// Dist summarizes a sample's distribution: location, spread, quartiles,
+// and a bootstrap percentile confidence interval for the mean — the
+// "CC with error bars" presentation the single-number tables lack.
+type Dist struct {
+	N int // sample size
+
+	Mean   float64
+	Median float64
+	StdDev float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Q1     float64 // nearest-rank 25th percentile
+	Q3     float64 // nearest-rank 75th percentile
+
+	// CILo and CIHi bound the bootstrap percentile confidence interval
+	// of the mean at level Confidence, from Resamples with-replacement
+	// resamples of the sample.
+	CILo, CIHi float64
+	Confidence float64
+	Resamples  int
+}
+
+// IQR returns the interquartile range Q3 − Q1.
+func (d Dist) IQR() float64 { return d.Q3 - d.Q1 }
+
+// NewDist summarizes xs. The input is not modified. A sample of one
+// observation gets degenerate (point) bounds; an empty sample returns
+// the zero Dist.
+func NewDist(xs []float64, cfg BootstrapConfig) Dist {
+	cfg = cfg.withDefaults()
+	d := Dist{N: len(xs), Confidence: cfg.Confidence, Resamples: cfg.Resamples}
+	if len(xs) == 0 {
+		return d
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	d.Mean = Mean(sorted)
+	d.StdDev = StdDev(sorted)
+	d.Min = sorted[0]
+	d.Max = sorted[len(sorted)-1]
+	d.Median = QuantileSorted(sorted, 0.5)
+	d.Q1 = QuantileSorted(sorted, 0.25)
+	d.Q3 = QuantileSorted(sorted, 0.75)
+
+	// Percentile bootstrap of the mean: resample with replacement,
+	// record each resample's mean, and read the CI off the resample
+	// distribution's quantiles. With n == 1 every resample is the
+	// observation itself and the interval collapses to a point, which
+	// is the honest answer for a sample that size.
+	rng := splitmix64{state: uint64(cfg.Seed)}
+	means := make([]float64, cfg.Resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < len(sorted); i++ {
+			sum += sorted[rng.intn(len(sorted))]
+		}
+		means[r] = sum / float64(len(sorted))
+	}
+	sort.Float64s(means)
+	alpha := (1 - cfg.Confidence) / 2
+	d.CILo = QuantileSorted(means, alpha)
+	d.CIHi = QuantileSorted(means, 1-alpha)
+	return d
+}
+
+// GeoMean returns the geometric mean of xs (the IO500 composite-score
+// fold), or NaN when the sample is empty or any observation is
+// non-positive — a non-positive rate has no geometric contribution and
+// silently clamping it would fake a score.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

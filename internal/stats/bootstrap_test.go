@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDeriveSeedCrossPin pins the same derived values the experiment
+// runner pins, proving the delegation in experiments.DeriveSeed never
+// drifts from the canonical derivation here.
+func TestDeriveSeedCrossPin(t *testing.T) {
+	pinned := map[[2]string]int64{
+		{"set1", "local-hdd"}:  -1083276964539255126,
+		{"set1", "pvfs-8s"}:    5539543175295217317,
+		{"set2-hdd", "4KB"}:    4562652203324125485,
+		{"ext3", "collective"}: 1002652676135534745,
+	}
+	for key, want := range pinned {
+		if got := DeriveSeed(42, key[0], key[1]); got != want {
+			t.Errorf("DeriveSeed(42, %q, %q) = %d, want %d", key[0], key[1], got, want)
+		}
+	}
+}
+
+// TestSplitmix64Pinned pins the PRNG stream: the bootstrap's CIs are a
+// function of these words, so a change to the mixer shows up here
+// before it silently shifts every confidence bound.
+func TestSplitmix64Pinned(t *testing.T) {
+	s := splitmix64{state: 42}
+	want := []uint64{0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52}
+	for i, w := range want {
+		if got := s.next(); got != w {
+			t.Fatalf("splitmix64(42) word %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+// TestIntnUniformRange: rejection sampling stays in range and hits every
+// residue for a small modulus.
+func TestIntnUniformRange(t *testing.T) {
+	s := splitmix64{state: 7}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("intn(7) hit only %d residues in 1000 draws", len(seen))
+	}
+}
+
+// TestNewDistGolden pins a full Dist for a fixed sample and seed — the
+// bit-exactness contract the suite figure's CIs rest on.
+func TestNewDistGolden(t *testing.T) {
+	xs := []float64{0.91, 0.84, 0.97, 0.88, 0.93}
+	d := NewDist(xs, BootstrapConfig{Seed: DeriveSeed(42, "golden", "cc")})
+	if d.N != 5 || d.Resamples != 1000 || d.Confidence != 0.95 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	if d.Min != 0.84 || d.Max != 0.97 || d.Median != 0.91 || d.Q1 != 0.88 || d.Q3 != 0.93 {
+		t.Fatalf("order stats wrong: %+v", d)
+	}
+	if math.Abs(d.Mean-0.906) > 1e-12 {
+		t.Fatalf("mean = %v, want 0.906", d.Mean)
+	}
+	// Pinned bootstrap CI bounds for this exact (sample, seed,
+	// resamples) triple. Math here is pure float64 arithmetic over a
+	// pinned PRNG stream, so the bounds are stable across platforms.
+	const wantLo, wantHi = 0.86799999999999999, 0.94199999999999995
+	if math.Abs(d.CILo-wantLo) > 1e-12 || math.Abs(d.CIHi-wantHi) > 1e-12 {
+		t.Fatalf("CI = [%.17g, %.17g], want [%v, %v]", d.CILo, d.CIHi, wantLo, wantHi)
+	}
+	if !(d.CILo <= d.Mean && d.Mean <= d.CIHi) {
+		t.Fatalf("mean %v outside CI [%v, %v]", d.Mean, d.CILo, d.CIHi)
+	}
+}
+
+// TestNewDistDeterministicUnderParallelism: summarizing the same sample
+// concurrently from many goroutines yields bit-identical Dists — the
+// property that lets the suite bootstrap inside a ForEach fan-out.
+func TestNewDistDeterministicUnderParallelism(t *testing.T) {
+	xs := []float64{1.2, 3.4, 2.2, 5.1, 0.7, 4.4, 2.9, 3.3}
+	cfg := BootstrapConfig{Resamples: 500, Seed: DeriveSeed(7, "par", "x")}
+	ref := NewDist(xs, cfg)
+	var wg sync.WaitGroup
+	got := make([]Dist, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = NewDist(xs, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range got {
+		if !reflect.DeepEqual(d, ref) {
+			t.Fatalf("goroutine %d Dist diverged:\n got %+v\nwant %+v", i, d, ref)
+		}
+	}
+}
+
+// TestNewDistInputNotModified: the caller's slice must come back in its
+// original order (NewDist sorts a copy).
+func TestNewDistInputNotModified(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NewDist(xs, BootstrapConfig{})
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+// TestNewDistEdgeCases: empty and single-observation samples.
+func TestNewDistEdgeCases(t *testing.T) {
+	if d := NewDist(nil, BootstrapConfig{}); d.N != 0 || d.Mean != 0 {
+		t.Fatalf("empty sample: %+v", d)
+	}
+	d := NewDist([]float64{2.5}, BootstrapConfig{Seed: 1})
+	if d.CILo != 2.5 || d.CIHi != 2.5 || d.Mean != 2.5 {
+		t.Fatalf("single observation should collapse to a point: %+v", d)
+	}
+	if d.IQR() != 0 {
+		t.Fatalf("single-observation IQR = %v", d.IQR())
+	}
+}
+
+// TestGeoMean: the IO500 composite fold and its refusal to fake scores.
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean(nil); !math.IsNaN(g) {
+		t.Fatalf("GeoMean(empty) = %v, want NaN", g)
+	}
+	if g := GeoMean([]float64{1, 0, 2}); !math.IsNaN(g) {
+		t.Fatalf("GeoMean with zero = %v, want NaN", g)
+	}
+}
+
+// TestNearestRankIndex pins the shared quantile convention both
+// LatencyDist and obs.Histogram now route through.
+func TestNearestRankIndex(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want int
+	}{
+		{0, 0.5, 0}, {1, 0.5, 0}, {10, 0, 0}, {10, 1, 9},
+		{10, 0.5, 4}, {10, 0.95, 9}, {10, 0.25, 2}, {4, 0.5, 1},
+		{100, 0.99, 98}, {3, 0.5, 1},
+	}
+	for _, c := range cases {
+		if got := NearestRankIndex(c.n, c.q); got != c.want {
+			t.Errorf("NearestRankIndex(%d, %v) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileSortedTypes: the generic helper works for both float64
+// samples and sim.Time-like defined integer types.
+func TestQuantileSortedTypes(t *testing.T) {
+	type dur int64
+	ds := []dur{10, 20, 30, 40}
+	if got := QuantileSorted(ds, 0.5); got != 20 {
+		t.Fatalf("QuantileSorted(int64 kind, 0.5) = %v, want 20", got)
+	}
+	fs := []float64{1.5, 2.5, 3.5}
+	if got := QuantileSorted(fs, 1.0); got != 3.5 {
+		t.Fatalf("QuantileSorted(float64, 1.0) = %v, want 3.5", got)
+	}
+	var empty []float64
+	if got := QuantileSorted(empty, 0.5); got != 0 {
+		t.Fatalf("QuantileSorted(empty) = %v, want 0", got)
+	}
+}
+
+// BenchmarkBootstrapDist is benchguard-tracked: the suite figure runs
+// one bootstrap per (phase, metric, statistic), so regressions here
+// multiply across the whole report.
+func BenchmarkBootstrapDist(b *testing.B) {
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i%7) + 0.25*float64(i)
+	}
+	cfg := BootstrapConfig{Seed: 42}
+	for i := 0; i < b.N; i++ {
+		NewDist(xs, cfg)
+	}
+}

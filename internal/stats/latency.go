@@ -57,20 +57,7 @@ func NewLatencyDist(records []trace.Record) LatencyDist {
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank; Quantile(0.5)
 // is the median, Quantile(0.99) the p99.
 func (d LatencyDist) Quantile(q float64) sim.Time {
-	if d.Count == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return d.sorted[0]
-	}
-	if q >= 1 {
-		return d.sorted[d.Count-1]
-	}
-	rank := int(math.Ceil(q*float64(d.Count))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	return d.sorted[rank]
+	return QuantileSorted(d.sorted, q)
 }
 
 // String renders the usual summary row.

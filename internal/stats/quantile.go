@@ -1,0 +1,39 @@
+package stats
+
+import "math"
+
+// NearestRankIndex returns the 0-based index of the nearest-rank
+// q-quantile in a sorted sample of n observations: ceil(q·n) − 1,
+// clamped to [0, n−1]. It is the one quantile convention the whole
+// codebase shares — the latency distribution, the bootstrap summaries,
+// and the registry's histogram quantiles all rank through it, so their
+// p50/p95/p99 columns agree by construction.
+func NearestRankIndex(n int, q float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return n - 1
+	}
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > n-1 {
+		rank = n - 1
+	}
+	return rank
+}
+
+// QuantileSorted returns the nearest-rank q-quantile of an ascending
+// sorted slice (zero value when empty).
+func QuantileSorted[T ~int64 | ~float64](sorted []T, q float64) T {
+	if len(sorted) == 0 {
+		var zero T
+		return zero
+	}
+	return sorted[NearestRankIndex(len(sorted), q)]
+}

@@ -270,6 +270,27 @@ func NewFilesEnv(e *sim.Engine, spec ClusterSpec, dev device.Device, prefix stri
 	return env, nil
 }
 
+// NewMetaFilesEnv builds the metadata-heavy env for workload.MetaRead:
+// filesPerProc small files of fileSize bytes per client process, named
+// by workload.MetaFileName and striped with the default layout. Caches
+// are flushed after the create storm so the measured phase starts cold,
+// matching the other env constructors.
+func NewMetaFilesEnv(e *sim.Engine, spec ClusterSpec, filesPerProc int, fileSize int64) (*workload.ClusterEnv, error) {
+	cluster, clients, doms := buildCluster(e, spec)
+	env := &workload.ClusterEnv{Cluster: cluster, Clients: clients, Cache: ioreq.NewCache(spec.ClientCache), Domains: doms}
+	for pid := 0; pid < spec.Clients; pid++ {
+		for i := 0; i < filesPerProc; i++ {
+			f, err := cluster.Create(workload.MetaFileName(pid, i), fileSize, cluster.DefaultLayout())
+			if err != nil {
+				return nil, err
+			}
+			env.Files = append(env.Files, f)
+		}
+	}
+	cluster.FlushCaches()
+	return env, nil
+}
+
 // NewPinnedFilesEnv builds the paper's "pure" concurrency setup
 // (§IV.C.3): one file per client, pinned to server i mod Servers.
 func NewPinnedFilesEnv(e *sim.Engine, spec ClusterSpec, filePerProc int64) (*workload.ClusterEnv, error) {

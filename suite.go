@@ -5,7 +5,9 @@ import (
 
 	"bps/internal/experiments"
 	"bps/internal/report"
+	"bps/internal/roofline"
 	"bps/internal/stats"
+	"bps/internal/testbed"
 )
 
 // ExperimentParams controls the paper-reproduction suite's scale, seed,
@@ -69,6 +71,64 @@ func NewLatencyDist(records []Record) LatencyDist { return stats.NewLatencyDist(
 func NormalizedCC(cc float64, kind MetricKind) float64 {
 	return stats.NormalizedCC(cc, kind.ExpectedDirection())
 }
+
+// CCDist summarizes a statistic's distribution across seeds: moments,
+// quartiles, and a seed-deterministic bootstrap confidence interval.
+type CCDist = stats.Dist
+
+// SuitePhase is one phase of the IO500-style composite: its base-seed
+// sweep points with roofline ceilings, per-metric normalized-CC
+// distributions across seeds (Pearson and Spearman), and the headroom
+// distribution across every (seed, point) run.
+type SuitePhase = experiments.SuitePhase
+
+// SuiteReport is the result of the IO500-style composite suite.
+type SuiteReport = experiments.SuiteReport
+
+// RunSuite runs the IO500-style composite — easy/hard sequential,
+// random, and metadata-heavy phases — under nseeds independent seeds
+// and summarizes CC and roofline headroom as distributions with
+// bootstrap confidence intervals. Results are bit-identical for every
+// Parallel value.
+func RunSuite(p ExperimentParams, nseeds int) (SuiteReport, error) {
+	return experiments.RunSuite(p, nseeds)
+}
+
+// RooflineCeiling returns the analytic BPS ceiling of a storage
+// configuration for the given record size and process count — the
+// roofline a measured run's BPS is held against (see
+// internal/roofline). Concurrency values below 1 are treated as 1.
+func RooflineCeiling(s Storage, recordBytes int64, concurrency int) float64 {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var m roofline.Model
+	if s.Servers <= 0 {
+		m = roofline.Local(s.Media)
+	} else {
+		m = roofline.FromCluster(testbed.ClusterSpec{
+			Servers: s.Servers,
+			Media:   s.Media,
+			Clients: concurrency,
+		})
+	}
+	return m.CeilingBPS(recordBytes, concurrency, 0)
+}
+
+// Headroom returns measured/ceiling, or 0 when the ceiling is
+// degenerate (zero, negative, NaN, or infinite).
+func Headroom(measuredBPS, ceilingBPS float64) float64 {
+	return roofline.Headroom(measuredBPS, ceilingBPS)
+}
+
+// WriteSuite renders the suite report: per-phase run tables with
+// ceilings and headroom, CC distributions with bootstrap CIs, and the
+// composite score.
+func WriteSuite(w io.Writer, rep SuiteReport) { report.WriteSuite(w, rep) }
+
+// WriteSuiteJSON emits the suite report as indented JSON (the
+// bpsbench -roofline-out artifact).
+func WriteSuiteJSON(w io.Writer, rep SuiteReport) error { return report.WriteSuiteJSON(w, rep) }
 
 // WriteFigure renders one reproduced figure as a plain-text table.
 func WriteFigure(w io.Writer, f Figure) { report.WriteFigure(w, f) }
